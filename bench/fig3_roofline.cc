@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Regenerates Figure 3: roofline placements for BP kernels (a), the
+ * VGG-16 layers at batch 1 (b), and batch 16 (c).
+ *
+ * Performance counts 16-bit vector-unit lane operations; arithmetic
+ * intensity counts every DRAM byte moved, including scalar
+ * synchronization traffic (the paper's accounting). Per-vault
+ * measurements scale to the machine by the active vault count.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+#include "model/roofline.hh"
+
+using namespace vip;
+
+namespace {
+
+void
+printPoint(const Roofline &roof, const char *name, double ai,
+           double gops)
+{
+    std::printf("%-10s %12.3f %12.1f %12.1f %9.0f%%\n", name, ai, gops,
+                roof.attainable(ai), 100.0 * gops / roof.attainable(ai));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double frac = argc > 1 ? std::atof(argv[1]) : 0.12;
+    const Roofline roof = vipRoofline();
+
+    std::printf("=== Figure 3: VIP roofline (peak %.0f GOp/s, "
+                "%.0f GB/s, knee at %.1f op/B) ===\n\n", roof.peakGops,
+                roof.peakBandwidthGBs, roof.knee());
+    std::printf("%-10s %12s %12s %12s %10s\n", "kernel", "ops/byte",
+                "GOp/s", "attainable", "of roof");
+
+    std::printf("\n--- (a) belief propagation ---\n");
+    {
+        const SliceResult fhd = runBpTilePhase(60, 34, 16);
+        printPoint(roof, "fhd", fhd.opsPerByte(), fhd.gops() * 32);
+        const SliceResult qhd = runBpTilePhase(30, 17, 16);
+        printPoint(roof, "qhd", qhd.opsPerByte(), qhd.gops() * 32);
+        // construct adds four vectors per output: 3L ops, 5L elements.
+        const SliceResult stream = runStreamCopy(1 << 20);
+        const double ai = 3.0 / (5.0 * 2.0);
+        printPoint(roof, "fhd_cons", ai,
+                   ai * stream.bandwidthGBs() * 32);
+    }
+
+    for (int batch : {1, 16}) {
+        std::printf("\n--- (%c) VGG-16, batch %d ---\n",
+                    batch == 1 ? 'b' : 'c', batch);
+        for (const auto &l : vgg16Layers()) {
+            switch (l.kind) {
+              case LayerDesc::Kind::Conv: {
+                const unsigned vaults = l.inWidth <= 14 ? 16 : 32;
+                const SliceResult s = runConvShare(l, vaults, frac);
+                // Conv traffic and compute both scale with batch.
+                printPoint(roof, l.name.c_str(), s.opsPerByte(),
+                           s.gops() * vaults);
+                break;
+              }
+              case LayerDesc::Kind::Pool: {
+                if (l.name != "p3" && l.name != "p4" && l.name != "p5")
+                    break;  // the paper plots p3..p5
+                const SliceResult s = runPoolShare(l, 32, frac);
+                printPoint(roof, l.name.c_str(), s.opsPerByte(),
+                           s.gops() * 32);
+                break;
+              }
+              case LayerDesc::Kind::Fc: {
+                const SliceResult s = runFcLayer(l.inputs, l.outputs,
+                                                 frac);
+                if (batch == 1) {
+                    printPoint(roof, l.name.c_str(), s.opsPerByte(),
+                               s.gops());
+                } else {
+                    // Batch-16 reuses the resident weights: ops x16,
+                    // weight bytes x1, activation bytes x16.
+                    const double w_bytes = 2.0 * l.macs();
+                    const double act_bytes =
+                        2.0 * (l.inputs + 2.0 * l.outputs);
+                    const double ai16 =
+                        16.0 * 2.0 * l.macs() /
+                        (w_bytes + 16.0 * act_bytes) *
+                        (s.opsPerByte() * w_bytes / (2.0 * l.macs()));
+                    const double eff =
+                        s.gops() / roof.attainable(s.opsPerByte());
+                    printPoint(roof, l.name.c_str(), ai16,
+                               eff * roof.attainable(ai16));
+                }
+                break;
+              }
+            }
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

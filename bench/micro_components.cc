@@ -1,0 +1,209 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's own components:
+ * assembler throughput, instruction encode/decode, DRAM vault access
+ * patterns, torus traversal, PE simulation rate, and the reference
+ * workload implementations. These track the cost of simulation itself,
+ * not VIP's modeled performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "kernels/bp_kernel.hh"
+#include "kernels/layout.hh"
+#include "kernels/runner.hh"
+#include "mem/hmc.hh"
+#include "noc/torus.hh"
+#include "sim/rng.hh"
+#include "workloads/mrf.hh"
+#include "workloads/nn.hh"
+
+namespace vip {
+namespace {
+
+void
+BM_AssembleBpFragment(benchmark::State &state)
+{
+    const std::string src = R"(
+loop:
+    ld.sram[16] r11, r7, r61
+    ld.sram[16] r12, r8, r61
+    ld.sram[16] r13, r9, r61
+    v.v.add[16] r11, r11, r12
+    v.v.add[16] r11, r11, r13
+    m.v.add.min[16] r10, r15, r11
+    st.sram[16] r10, r14, r61
+    add.imm r7, r7, 32
+    blt r7, r20, loop
+    halt
+)";
+    for (auto _ : state) {
+        auto prog = assemble(src);
+        benchmark::DoNotOptimize(prog);
+    }
+}
+BENCHMARK(BM_AssembleBpFragment);
+
+void
+BM_EncodeDecodeRoundTrip(benchmark::State &state)
+{
+    AsmBuilder b;
+    for (int i = 0; i < 100; ++i) {
+        b.movImm(1, i * 1024);
+        b.vv(VecOp::Add, 2, 3, 4);
+        b.mv(VecOp::Mul, RedOp::Add, 5, 6, 7);
+    }
+    b.halt();
+    const auto prog = b.finish();
+    for (auto _ : state) {
+        auto words = encodeProgram(prog);
+        auto back = decodeProgram(words);
+        benchmark::DoNotOptimize(back);
+    }
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+void
+BM_VaultSequentialReads(benchmark::State &state)
+{
+    MemConfig cfg;
+    cfg.geom.vaults = 1;
+    for (auto _ : state) {
+        state.PauseTiming();
+        HmcStack hmc(cfg);
+        unsigned outstanding = 0;
+        state.ResumeTiming();
+        Cycles now = 0;
+        for (unsigned i = 0; i < 256; ++i) {
+            auto req = std::make_unique<MemRequest>();
+            req->addr = i * 32;
+            req->bytes = 32;
+            req->issuedAt = now;
+            req->onComplete = [&](MemRequest &) { --outstanding; };
+            ++outstanding;
+            hmc.enqueue(std::move(req));
+            // Drain a little so the queue never fills.
+            for (int t = 0; t < 8; ++t)
+                hmc.tick(now++);
+        }
+        while (outstanding > 0)
+            hmc.tick(now++);
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_VaultSequentialReads);
+
+void
+BM_TorusAllToOne(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TorusNoc noc(8, 4);
+        unsigned delivered = 0;
+        Cycles now = 0;
+        for (unsigned n = 1; n < 32; ++n) {
+            Packet p;
+            p.src = n;
+            p.dst = 0;
+            p.payloadBytes = 32;
+            p.onArrive = [&](Packet &) { ++delivered; };
+            noc.send(std::move(p), now);
+        }
+        while (delivered < 31)
+            noc.tick(now++);
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_TorusAllToOne);
+
+void
+BM_PeScalarLoop(benchmark::State &state)
+{
+    // Simulation rate of a PE running a tight scalar loop.
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = makeSystemConfig(1, 1);
+        VipSystem sys(cfg);
+        AsmBuilder b;
+        b.movImm(1, 0);
+        b.movImm(2, 10000);
+        const auto loop = b.newLabel();
+        b.bind(loop);
+        b.addImm(1, 1, 1);
+        b.branch(BranchCond::Lt, 1, 2, loop);
+        b.halt();
+        sys.pe(0).loadProgram(b.finish());
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sys.run());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_PeScalarLoop);
+
+void
+BM_SimulatedBpSweep(benchmark::State &state)
+{
+    // End-to-end simulation cost of one generated BP sweep.
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = makeSystemConfig(1, 4);
+        VipSystem sys(cfg);
+        MrfDramLayout layout(sys.vaultBase(0), 32, 16, 8);
+        for (unsigned pe = 0; pe < 4; ++pe) {
+            sys.pe(pe).loadProgram(genBpSweep(
+                layout, BpVariant{},
+                BpSweepJob{SweepDir::Right, pe * 4,
+                           (pe + 1) * 4}));
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sys.run());
+    }
+}
+BENCHMARK(BM_SimulatedBpSweep);
+
+void
+BM_ReferenceBpIteration(benchmark::State &state)
+{
+    Rng rng(3);
+    MrfProblem p;
+    p.width = 64;
+    p.height = 32;
+    p.labels = 16;
+    p.smoothCost = truncatedLinearSmoothness(16, 3, 12);
+    p.dataCost.resize(64ull * 32 * 16);
+    for (auto &c : p.dataCost)
+        c = static_cast<Fx16>(rng.nextBelow(25));
+    BpState bp(p);
+    for (auto _ : state) {
+        bp.iterate();
+        benchmark::DoNotOptimize(bp.msgAt(FromLeft, 1, 1));
+    }
+    state.SetItemsProcessed(state.iterations() * 4 * 64 * 32);
+}
+BENCHMARK(BM_ReferenceBpIteration);
+
+void
+BM_ReferenceConvLayer(benchmark::State &state)
+{
+    Rng rng(4);
+    FeatureMap in(16, 28, 28);
+    for (auto &v : in.data)
+        v = static_cast<Fx16>(rng.nextRange(-10, 10));
+    const auto filt = randomWeights(32ull * 16 * 9, rng, 3);
+    const auto bias = randomWeights(32, rng, 10);
+    for (auto _ : state) {
+        auto out = convLayer(in, filt, bias, 32, 3);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 32ull * 28 * 28 * 16 *
+                            9);
+}
+BENCHMARK(BM_ReferenceConvLayer);
+
+} // namespace
+} // namespace vip
+
+BENCHMARK_MAIN();

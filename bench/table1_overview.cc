@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates Table I: the qualitative landscape of platforms for PGM
+ * and CNN inference. The published rows are reproduced verbatim; VIP's
+ * row cites this reproduction's own measurements (asterisks mark
+ * >= 24 fps at full-HD stereo / standard-size VGG-16, which the MRF
+ * bench checks quantitatively).
+ */
+
+#include <cstdio>
+
+#include "model/baselines.hh"
+
+using namespace vip;
+
+int
+main()
+{
+    std::printf("=== Table I: qualitative platform overview (lighter "
+                "is better) ===\n\n");
+    std::printf("%-14s %-10s %-12s %-12s %-15s\n", "Platform", "Power",
+                "PGM tput", "CNN tput", "Programmability");
+    const struct
+    {
+        const char *name, *power, *pgm, *cnn, *prog;
+    } rows[] = {
+        {"CPU", "Med/High", "Low", "Low", "Very High"},
+        {"GPU", "High", "Med/High", "High*", "Very High"},
+        {"FPGA", "Med", "Med", "Med*", "Med"},
+        {"Tile-BP", "Very Low", "Med/High", "N/A", "Very Low"},
+        {"Eyeriss", "Very Low", "N/A", "Low", "Very Low"},
+        {"TPU", "Med", "N/A", "Very High*", "Low"},
+        {"VIP", "Low/Med", "Very High*", "Med*", "High"},
+    };
+    for (const auto &r : rows) {
+        std::printf("%-14s %-10s %-12s %-12s %-15s\n", r.name, r.power,
+                    r.pgm, r.cnn, r.prog);
+    }
+
+    std::printf("\nVIP's row, quantified by this reproduction:\n");
+    std::printf("  power:   %.1f-%.1f W for 128 PEs (bench/sec7) + "
+                "HMC\n", kVipPowerBpW, kVipPowerCnnW);
+    std::printf("  PGM:     > 24 fps full-HD stereo, hierarchical BP-M "
+                "(bench/table4_mrf)\n");
+    std::printf("  CNN:     ~20 fps VGG-16 batch 1 measured here "
+                "(paper: 31 fps) (bench/table4_cnn)\n");
+    std::printf("  program: BP, CNN, MLP, k-NN centroid, de-noising, "
+                "optical flow — all software\n"
+                "           (examples/, same hardware configuration "
+                "throughout)\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Prints the active memory-system configuration in the form of
+ * Table III, with the raw nanosecond values and their cycle
+ * equivalents at the 0.8 ns clock.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "mem/timing.hh"
+
+using namespace vip;
+
+int
+main()
+{
+    const MemConfig cfg;
+
+    std::printf("=== Table III: memory simulation parameters ===\n\n");
+    std::printf("%-22s %s\n", "HMC vaults",
+                std::to_string(cfg.geom.vaults).c_str());
+    std::printf("%-22s %u bit\n", "HMC vault data width", 32u);
+    std::printf("%-22s %s\n", "Row buffer policy",
+                cfg.pagePolicy == PagePolicy::Open ? "open-page"
+                                                   : "closed-page");
+    std::printf("%-22s %s\n", "Address mapping",
+                cfg.addrMap == AddrMap::VaultRowBankCol
+                    ? "vault-row-bank-col"
+                    : "row-bank-col-vault");
+    std::printf("%-22s %u\n", "Banks per vault", cfg.geom.banksPerVault);
+    std::printf("%-22s %u (32 B columns)\n", "Burst length", 8u);
+    std::printf("%-22s %u\n", "Cmd queue depth", cfg.cmdQueueDepth);
+    std::printf("%-22s %u\n", "Trans queue depth", cfg.transQueueDepth);
+    std::printf("%-22s %llu rows x %u B\n", "Bank geometry",
+                static_cast<unsigned long long>(cfg.geom.rowsPerBank),
+                cfg.geom.rowBytes);
+
+    std::printf("\n%-8s %10s %10s\n", "param", "ns", "cycles");
+    const struct { const char *name; double ns; Cycles cyc; } rows[] = {
+        {"tCK", 0.8, 1},
+        {"tCL", 13.75, cfg.timing.tCL},
+        {"tRCD", 13.75, cfg.timing.tRCD},
+        {"tRP", 13.75, cfg.timing.tRP},
+        {"tRAS", 27.5, cfg.timing.tRAS},
+        {"tWR", 15.0, cfg.timing.tWR},
+        {"tCCD", 5.0, cfg.timing.tCCD},
+        {"tRFC", 81.5, cfg.timing.tRFC},
+        {"tREFI", 1950.0, cfg.timing.tREFI},
+    };
+    for (const auto &r : rows) {
+        std::printf("%-8s %10.2f %10llu\n", r.name, r.ns,
+                    static_cast<unsigned long long>(r.cyc));
+    }
+    std::printf("\nstack bandwidth: %u vaults x 10 GB/s = %u GB/s\n",
+                cfg.geom.vaults, cfg.geom.vaults * 10);
+    std::printf("capacity: %llu MiB\n",
+                static_cast<unsigned long long>(cfg.geom.capacity() >>
+                                                20));
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Regenerates Table IV's CNN sections and the Sec. VI-A layer
+ * narrative: per-layer VGG-16 and VGG-19 times on VIP, full-network
+ * totals at batch 1/3/16, and the Eyeriss / Titan X / Volta / Jetson
+ * comparisons with the paper's normalization arithmetic.
+ *
+ * Methodology: each conv/pool layer is measured as one vault's
+ * independent tile share (Sec. V-A); FC layers run on the full
+ * 32-vault, 128-PE machine. Convolution time scales linearly with
+ * batch (the paper observes the same); FC batching reuses the resident
+ * weights, so t(B) = t(1) + (B-1) * t_compute.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "model/baselines.hh"
+
+using namespace vip;
+
+namespace {
+
+struct LayerTime
+{
+    std::string name;
+    double ms = 0;
+    double computeMs = 0;  // pure-compute share (for FC batch model)
+    bool isFc = false;
+};
+
+std::vector<LayerTime>
+measureNetwork(const std::vector<LayerDesc> &layers, double frac)
+{
+    std::vector<LayerTime> out;
+    for (const auto &l : layers) {
+        LayerTime t;
+        t.name = l.name;
+        switch (l.kind) {
+          case LayerDesc::Kind::Conv: {
+            // The paper uses half the vaults for the tiny c5 maps.
+            const unsigned vaults = l.inWidth <= 14 ? 16 : 32;
+            const SliceResult s = runConvShare(l, vaults, frac);
+            const double share = static_cast<double>(l.macs()) / vaults;
+            t.ms = s.ms() * share / static_cast<double>(s.workItems);
+            break;
+          }
+          case LayerDesc::Kind::Pool: {
+            const SliceResult s = runPoolShare(l, 32, frac);
+            const double share = static_cast<double>(l.macs()) / 32.0;
+            t.ms = s.ms() * share / static_cast<double>(s.workItems);
+            break;
+          }
+          case LayerDesc::Kind::Fc: {
+            const SliceResult s = runFcLayer(l.inputs, l.outputs, frac);
+            // workItems = simulated rows * inputs; the full layer is
+            // outputs * inputs multiply-accumulates.
+            const double scale = static_cast<double>(l.macs()) /
+                                 static_cast<double>(s.workItems);
+            t.ms = s.ms() * scale;
+            // Compute-bound share: MACs at the 640 GMAC/s peak.
+            t.computeMs = static_cast<double>(l.macs()) /
+                          (128.0 * 4.0 * 1.25e9) * 1e3;
+            t.isFc = true;
+            break;
+          }
+        }
+        std::printf("  %-6s %9.3f ms\n", t.name.c_str(), t.ms);
+        std::fflush(stdout);
+        out.push_back(t);
+    }
+    return out;
+}
+
+double
+totalMs(const std::vector<LayerTime> &ts, int batch, bool conv_only)
+{
+    double total = 0;
+    for (const auto &t : ts) {
+        if (t.isFc) {
+            if (conv_only)
+                continue;
+            total += t.ms + (batch - 1) * t.computeMs;
+        } else {
+            total += batch * t.ms;
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A fraction of each layer's rows is simulated; pass a larger
+    // fraction for higher fidelity.
+    const double frac = argc > 1 ? std::atof(argv[1]) : 0.3;
+
+    std::printf("=== Table IV: CNNs (simulated row fraction %.2f) "
+                "===\n\nVGG-16 layers:\n", frac);
+    const auto vgg16 = measureNetwork(vgg16Layers(), frac);
+    std::printf("\nVGG-19 layers:\n");
+    const auto vgg19 = measureNetwork(vgg19Layers(), frac);
+
+    const double v16_conv_b1 = totalMs(vgg16, 1, true);
+    const double v16_b1 = totalMs(vgg16, 1, false);
+    const double v16_conv_b3 = totalMs(vgg16, 3, true);
+    const double v16_b16 = totalMs(vgg16, 16, false);
+    const double v19_b1 = totalMs(vgg19, 1, false);
+    const double v19_conv_b1 = totalMs(vgg19, 1, true);
+    const double fc_b1 = v16_b1 - v16_conv_b1;
+    const double fc_b3 = totalMs(vgg16, 3, false) - v16_conv_b3;
+    const double fc_b16 = v16_b16 - totalMs(vgg16, 16, true);
+
+    std::printf("\n--- Sec. VI-A totals (paper in parentheses) ---\n");
+    std::printf("VGG-16 conv+pool, batch 1 : %8.1f ms  (30.9)\n",
+                v16_conv_b1);
+    std::printf("VGG-19 conv+pool, batch 1 : %8.1f ms  (39.2)\n",
+                v19_conv_b1);
+    std::printf("VGG-16 conv, batch 3      : %8.1f ms  (91.6)\n",
+                v16_conv_b3);
+    std::printf("fc layers batch 1/3/16    : %.2f / %.2f / %.2f ms "
+                "(1.4 / 1.8 / 4.4)\n", fc_b1, fc_b3, fc_b16);
+    std::printf("VGG-16 full, batch 1      : %8.1f ms  (32.3)\n",
+                v16_b1);
+    std::printf("VGG-16 full, batch 16     : %8.1f ms  (492.4)\n",
+                v16_b16);
+    std::printf("VGG-19 full, batch 1      : %8.1f ms  (40.6)\n",
+                v19_b1);
+
+    std::printf("\n--- Table IV comparisons ---\n");
+    const double eyeriss_scaled = eyerissScaledTimeMs(4309.0);
+    std::printf("Eyeriss reported (conv, batch 3): 4309 ms @ 65nm, "
+                "12mm2, 200MHz\n");
+    std::printf("Eyeriss scaled to VIP area/tech/clock: %.1f ms; "
+                "VIP: %.1f ms (paper: <10%% worse)\n", eyeriss_scaled,
+                v16_conv_b3);
+    std::printf("VIP vs Eyeriss-scaled: %+.1f%%\n",
+                100.0 * (v16_conv_b3 - eyeriss_scaled) / eyeriss_scaled);
+    std::printf("Titan X VGG-16 batch 16: 41.6 ms @ 250 W, 471 mm2 "
+                "(VIP: %.1f ms @ 4.8 W, 18 mm2)\n", v16_b16);
+    std::printf("Volta VGG-19 batch 1: 2.2 ms; area ratio vs VIP: "
+                "%.0fx (paper ~250x)\n", areaRatioVsVip(815.0, 12.0));
+    std::printf("Jetson TX2 VGG-19 batch 1: 42.2 ms @ 10 W "
+                "(VIP: %.1f ms @ 4.8 W)\n", v19_b1);
+    std::printf("\nreal-time check: VGG-16 batch 1 = %.1f fps "
+                "(paper >= 24)\n", 1000.0 / v16_b1);
+    return 0;
+}

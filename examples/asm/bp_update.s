@@ -1,0 +1,37 @@
+; One min-sum belief-propagation message update (paper Fig. 2).
+;
+; theta-hat = data + mA + mB + mC       (Eq. 1a, three v.v.adds)
+; message   = min-reduce(S + theta-hat) (Eq. 1b, one m.v.add.min)
+;
+; Expects L = 8 labels: data at 0x1000, incoming messages at 0x1100,
+; 0x1200, 0x1300, the 8x8 smoothness matrix at 0x2000, and writes the
+; outgoing message to 0x3000.
+    mov.imm r61, 8
+    set.vl r61
+    set.mr r61
+    mov.imm r5, 64        ; smoothness elements (L*L)
+    mov.imm r6, 0x2000
+    mov.imm r15, 0        ; sp: smoothness matrix
+    ld.sram[16] r15, r6, r5
+    mov.imm r7, 0x1000
+    mov.imm r8, 0x1100
+    mov.imm r9, 0x1200
+    mov.imm r10, 0x1300
+    mov.imm r11, 512      ; sp: data
+    mov.imm r12, 544      ; sp: messages
+    mov.imm r13, 576
+    mov.imm r14, 608
+    ld.sram[16] r11, r7, r61
+    ld.sram[16] r12, r8, r61
+    ld.sram[16] r13, r9, r61
+    ld.sram[16] r14, r10, r61
+    v.v.add[16] r11, r11, r12   ; theta-hat, in place
+    v.v.add[16] r11, r11, r13
+    v.v.add[16] r11, r11, r14
+    mov.imm r16, 640            ; sp: outgoing message
+    m.v.add.min[16] r16, r15, r11
+    v.drain
+    mov.imm r17, 0x3000
+    st.sram[16] r16, r17, r61
+    memfence
+    halt

@@ -1,0 +1,24 @@
+; Dot product of two 8-element vectors with m.v.mul.add (MR = 1).
+;
+;   vip-run dot_product.s --dram 0x1000=2 --dram 0x1002=3 \
+;       --dram 0x1100=10 --dram 0x1102=20 --dump-dram 0x2000,1
+;
+; Inputs: vector A at 0x1000, vector B at 0x1100 (16-bit elements).
+; Output: one 16-bit dot product at 0x2000.
+    mov.imm r1, 8         ; vector length
+    set.vl r1
+    mov.imm r2, 1         ; one matrix row
+    set.mr r2
+    mov.imm r10, 0x1000
+    mov.imm r11, 0x1100
+    mov.imm r12, 0x2000
+    mov.imm r20, 0        ; scratchpad: A
+    mov.imm r21, 64       ; scratchpad: B
+    mov.imm r22, 128      ; scratchpad: result
+    ld.sram[16] r20, r10, r1
+    ld.sram[16] r21, r11, r1
+    m.v.mul.add[16] r22, r20, r21
+    v.drain
+    st.sram[16] r22, r12, r2
+    memfence
+    halt

@@ -1,0 +1,456 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+namespace {
+
+struct ParseState
+{
+    unsigned line = 0;
+    std::string error;
+
+    void
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+    }
+
+    bool ok() const { return error.empty(); }
+};
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/** Strip `;` and `#` comments. */
+std::string
+stripComment(std::string_view s)
+{
+    const auto pos = s.find_first_of(";#");
+    return trim(pos == std::string_view::npos ? s : s.substr(0, pos));
+}
+
+/** Split "a, b, c" into trimmed operand strings. */
+std::vector<std::string>
+splitOperands(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const auto comma = s.find(',', start);
+        if (comma == std::string_view::npos) {
+            const auto piece = trim(s.substr(start));
+            if (!piece.empty())
+                out.push_back(piece);
+            break;
+        }
+        out.push_back(trim(s.substr(start, comma - start)));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::optional<unsigned>
+parseReg(const std::string &tok)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return std::nullopt;
+    unsigned v = 0;
+    auto [p, ec] = std::from_chars(tok.data() + 1, tok.data() + tok.size(),
+                                   v);
+    if (ec != std::errc() || p != tok.data() + tok.size() ||
+        v >= kNumScalarRegs) {
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::optional<std::int64_t>
+parseImm(const std::string &tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    std::int64_t sign = 1;
+    std::size_t i = 0;
+    if (tok[0] == '-') {
+        sign = -1;
+        i = 1;
+    } else if (tok[0] == '+') {
+        i = 1;
+    }
+    int base = 10;
+    if (tok.size() > i + 1 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    }
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.data() + i, tok.data() + tok.size(),
+                                   v, base);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+        return std::nullopt;
+    return sign * v;
+}
+
+/**
+ * Split the mnemonic into dot-separated parts and an optional width
+ * tag, e.g. "m.v.add.min[16]" -> {"m","v","add","min"}, W16.
+ */
+bool
+splitMnemonic(const std::string &tok, std::vector<std::string> &parts,
+              ElemWidth &width, ParseState &st)
+{
+    std::string name = tok;
+    width = ElemWidth::W16;
+    const auto bracket = name.find('[');
+    if (bracket != std::string::npos) {
+        std::string tag = name.substr(bracket);
+        name = name.substr(0, bracket);
+        if (tag == "[8]" || tag == "[8-bit]") {
+            width = ElemWidth::W8;
+        } else if (tag == "[16]" || tag == "[16-bit]") {
+            width = ElemWidth::W16;
+        } else if (tag == "[32]" || tag == "[32-bit]") {
+            width = ElemWidth::W32;
+        } else if (tag == "[64]" || tag == "[64-bit]") {
+            width = ElemWidth::W64;
+        } else {
+            st.fail("bad width tag '" + tag + "'");
+            return false;
+        }
+    }
+    parts.clear();
+    std::size_t start = 0;
+    while (start <= name.size()) {
+        const auto dot = name.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(name.substr(start));
+            break;
+        }
+        parts.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return true;
+}
+
+std::optional<VecOp>
+parseVecOp(const std::string &s)
+{
+    if (s == "mul") return VecOp::Mul;
+    if (s == "add") return VecOp::Add;
+    if (s == "sub") return VecOp::Sub;
+    if (s == "min") return VecOp::Min;
+    if (s == "max") return VecOp::Max;
+    if (s == "nop") return VecOp::Nop;
+    return std::nullopt;
+}
+
+std::optional<RedOp>
+parseRedOp(const std::string &s)
+{
+    if (s == "add") return RedOp::Add;
+    if (s == "min") return RedOp::Min;
+    if (s == "max") return RedOp::Max;
+    return std::nullopt;
+}
+
+std::optional<ScalarOp>
+parseScalarOp(const std::string &s)
+{
+    if (s == "add") return ScalarOp::Add;
+    if (s == "sub") return ScalarOp::Sub;
+    if (s == "sll") return ScalarOp::Sll;
+    if (s == "srl") return ScalarOp::Srl;
+    if (s == "sra") return ScalarOp::Sra;
+    if (s == "and") return ScalarOp::And;
+    if (s == "or") return ScalarOp::Or;
+    if (s == "xor") return ScalarOp::Xor;
+    return std::nullopt;
+}
+
+std::optional<BranchCond>
+parseBranch(const std::string &s)
+{
+    if (s == "blt") return BranchCond::Lt;
+    if (s == "bge") return BranchCond::Ge;
+    if (s == "beq") return BranchCond::Eq;
+    if (s == "bne") return BranchCond::Ne;
+    return std::nullopt;
+}
+
+struct PendingLabel
+{
+    std::size_t instIndex;
+    std::string label;
+    unsigned line;
+};
+
+} // namespace
+
+std::vector<Instruction>
+assemble(std::string_view source, AssemblyError *error)
+{
+    std::vector<Instruction> prog;
+    std::map<std::string, std::size_t> labels;
+    std::vector<PendingLabel> fixups;
+    ParseState st;
+
+    std::istringstream in{std::string(source)};
+    std::string raw;
+    unsigned line_no = 0;
+    unsigned error_line = 0;
+
+    auto failAt = [&](const std::string &msg) {
+        if (st.ok())
+            error_line = line_no;
+        st.fail(msg);
+    };
+
+    while (std::getline(in, raw) && st.ok()) {
+        ++line_no;
+        std::string text = stripComment(raw);
+        if (text.empty())
+            continue;
+
+        // Labels (possibly followed by an instruction on the same line).
+        while (true) {
+            const auto colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            const std::string label = trim(text.substr(0, colon));
+            if (label.empty() || label.find(' ') != std::string::npos) {
+                failAt("malformed label");
+                break;
+            }
+            if (labels.count(label)) {
+                failAt("duplicate label '" + label + "'");
+                break;
+            }
+            labels[label] = prog.size();
+            text = trim(text.substr(colon + 1));
+        }
+        if (!st.ok() || text.empty())
+            continue;
+
+        // Mnemonic and operands.
+        const auto space = text.find_first_of(" \t");
+        const std::string mnemonic =
+            space == std::string::npos ? text : text.substr(0, space);
+        const std::vector<std::string> ops = splitOperands(
+            space == std::string::npos ? "" : text.substr(space + 1));
+
+        std::vector<std::string> parts;
+        Instruction inst;
+        if (!splitMnemonic(mnemonic, parts, inst.width, st)) {
+            error_line = line_no;
+            continue;
+        }
+
+        auto needOps = [&](std::size_t n) {
+            if (ops.size() != n) {
+                failAt("expected " + std::to_string(n) + " operands, got " +
+                       std::to_string(ops.size()));
+                return false;
+            }
+            return true;
+        };
+        auto regOp = [&](std::size_t i, std::uint8_t &out) {
+            const auto r = parseReg(ops[i]);
+            if (!r) {
+                failAt("bad register '" + ops[i] + "'");
+                return false;
+            }
+            out = static_cast<std::uint8_t>(*r);
+            return true;
+        };
+
+        const std::string &head = parts[0];
+
+        if (head == "set" && parts.size() == 2) {
+            inst.op = parts[1] == "vl" ? Opcode::SetVl : Opcode::SetMr;
+            if (parts[1] != "vl" && parts[1] != "mr") {
+                failAt("unknown config register '" + parts[1] + "'");
+                continue;
+            }
+            if (!needOps(1) || !regOp(0, inst.rs1))
+                continue;
+        } else if (head == "v" && parts.size() == 2 && parts[1] == "drain") {
+            inst.op = Opcode::VDrain;
+            if (!needOps(0))
+                continue;
+        } else if (head == "m" && parts.size() == 4 && parts[1] == "v") {
+            inst.op = Opcode::MatVec;
+            const auto vop = parseVecOp(parts[2]);
+            const auto rop = parseRedOp(parts[3]);
+            if (!vop || !rop) {
+                failAt("bad m.v operator composition '" + mnemonic + "'");
+                continue;
+            }
+            inst.vop = *vop;
+            inst.rop = *rop;
+            if (!needOps(3) || !regOp(0, inst.rd) || !regOp(1, inst.rs1) ||
+                !regOp(2, inst.rs2)) {
+                continue;
+            }
+        } else if (head == "v" && parts.size() == 3 &&
+                   (parts[1] == "v" || parts[1] == "s")) {
+            inst.op = parts[1] == "v" ? Opcode::VecVec : Opcode::VecScalar;
+            const auto vop = parseVecOp(parts[2]);
+            if (!vop || *vop == VecOp::Nop) {
+                failAt("bad vector operator '" + parts[2] + "'");
+                continue;
+            }
+            inst.vop = *vop;
+            if (!needOps(3) || !regOp(0, inst.rd) || !regOp(1, inst.rs1) ||
+                !regOp(2, inst.rs2)) {
+                continue;
+            }
+        } else if (head == "mov" && parts.size() == 1) {
+            inst.op = Opcode::Mov;
+            if (!needOps(2) || !regOp(0, inst.rd) || !regOp(1, inst.rs1))
+                continue;
+        } else if (head == "mov" && parts.size() == 2 && parts[1] == "imm") {
+            inst.op = Opcode::MovImm;
+            if (!needOps(2) || !regOp(0, inst.rd))
+                continue;
+            const auto imm = parseImm(ops[1]);
+            if (!imm) {
+                failAt("bad immediate '" + ops[1] + "'");
+                continue;
+            }
+            inst.imm = *imm;
+        } else if (parseScalarOp(head) && parts.size() <= 2) {
+            inst.sop = *parseScalarOp(head);
+            const bool has_imm = parts.size() == 2 && parts[1] == "imm";
+            if (parts.size() == 2 && !has_imm) {
+                failAt("unknown mnemonic '" + mnemonic + "'");
+                continue;
+            }
+            inst.op = has_imm ? Opcode::ScalarRI : Opcode::ScalarRR;
+            if (!needOps(3) || !regOp(0, inst.rd) || !regOp(1, inst.rs1))
+                continue;
+            if (has_imm) {
+                const auto imm = parseImm(ops[2]);
+                if (!imm) {
+                    failAt("bad immediate '" + ops[2] + "'");
+                    continue;
+                }
+                inst.imm = *imm;
+            } else if (!regOp(2, inst.rs2)) {
+                continue;
+            }
+        } else if (parseBranch(head) && parts.size() == 1) {
+            inst.op = Opcode::Branch;
+            inst.cond = *parseBranch(head);
+            if (!needOps(3) || !regOp(0, inst.rs1) || !regOp(1, inst.rs2))
+                continue;
+            fixups.push_back({prog.size(), ops[2], line_no});
+        } else if (head == "jmp" && parts.size() == 1) {
+            inst.op = Opcode::Jmp;
+            if (!needOps(1))
+                continue;
+            fixups.push_back({prog.size(), ops[0], line_no});
+        } else if (head == "ld" && parts.size() == 2 && parts[1] == "sram") {
+            inst.op = Opcode::LdSram;
+            if (!needOps(3) || !regOp(0, inst.rd) || !regOp(1, inst.rs1) ||
+                !regOp(2, inst.rs2)) {
+                continue;
+            }
+        } else if (head == "st" && parts.size() == 2 && parts[1] == "sram") {
+            inst.op = Opcode::StSram;
+            if (!needOps(3) || !regOp(0, inst.rd) || !regOp(1, inst.rs1) ||
+                !regOp(2, inst.rs2)) {
+                continue;
+            }
+        } else if (head == "ld" && parts.size() == 2 && parts[1] == "reg") {
+            inst.op = Opcode::LdReg;
+            if (!needOps(2) || !regOp(0, inst.rd) || !regOp(1, inst.rs1))
+                continue;
+        } else if (head == "st" && parts.size() == 2 && parts[1] == "reg") {
+            inst.op = Opcode::StReg;
+            if (!needOps(2) || !regOp(0, inst.rd) || !regOp(1, inst.rs1))
+                continue;
+        } else if (head == "memfence" && parts.size() == 1) {
+            inst.op = Opcode::Memfence;
+            if (!needOps(0))
+                continue;
+        } else if (head == "halt" && parts.size() == 1) {
+            inst.op = Opcode::Halt;
+            if (!needOps(0))
+                continue;
+        } else if (head == "nop" && parts.size() == 1) {
+            inst.op = Opcode::Nop;
+            if (!needOps(0))
+                continue;
+        } else {
+            failAt("unknown mnemonic '" + mnemonic + "'");
+            continue;
+        }
+
+        prog.push_back(inst);
+    }
+
+    // Second pass: resolve branch/jump targets.
+    if (st.ok()) {
+        for (const auto &fix : fixups) {
+            const auto it = labels.find(fix.label);
+            if (it == labels.end()) {
+                // Numeric absolute targets are accepted too.
+                const auto imm = parseImm(fix.label);
+                if (imm && *imm >= 0 &&
+                    static_cast<std::size_t>(*imm) <= prog.size()) {
+                    prog[fix.instIndex].imm = *imm;
+                    continue;
+                }
+                line_no = fix.line;
+                failAt("undefined label '" + fix.label + "'");
+                error_line = fix.line;
+                break;
+            }
+            prog[fix.instIndex].imm =
+                static_cast<std::int64_t>(it->second);
+        }
+    }
+
+    if (!st.ok()) {
+        if (error) {
+            *error = {error_line, st.error};
+            return {};
+        }
+        vip_fatal("assembly error at line ", error_line, ": ", st.error);
+    }
+
+    if (prog.size() > kInstBufferEntries) {
+        const std::string msg = "program has " + std::to_string(prog.size()) +
+                                " instructions; the PE instruction buffer "
+                                "holds " +
+                                std::to_string(kInstBufferEntries);
+        if (error) {
+            *error = {0, msg};
+            return {};
+        }
+        vip_fatal(msg);
+    }
+
+    if (error)
+        *error = {0, ""};
+    return prog;
+}
+
+} // namespace vip

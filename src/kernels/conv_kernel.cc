@@ -1,0 +1,452 @@
+#include "kernels/conv_kernel.hh"
+
+#include "isa/builder.hh"
+#include "kernels/emit_util.hh"
+#include "pe/scratchpad.hh"
+#include "sim/logging.hh"
+
+namespace vip {
+
+namespace {
+
+// Register conventions for the conv pass.
+constexpr unsigned RZ = 1;
+constexpr unsigned RVLK = 2;    // k * zShard (window-column VL)
+constexpr unsigned RMR = 3;     // F (matrix rows)
+constexpr unsigned RFLEN = 4;   // F (accumulator VL / store length)
+constexpr unsigned RZCLEN = 5;  // zShard (column-chunk load length)
+constexpr unsigned RFILT0 = 6;  // sp addrs of the three kx matrices
+constexpr unsigned RFILT1 = 7;
+constexpr unsigned RFILT2 = 8;
+constexpr unsigned RBIAS = 9;
+constexpr unsigned RACCA = 10;  // acc ping-pong base / base+32
+constexpr unsigned RACCB = 11;
+constexpr unsigned RTMP1 = 12;
+constexpr unsigned RTMP2 = 13;
+constexpr unsigned RCOLBASE = 14;
+constexpr unsigned RT = 15;
+constexpr unsigned RT2 = 16;
+constexpr unsigned RT3 = 17;
+constexpr unsigned RT4 = 18;
+constexpr unsigned RX = 20;
+constexpr unsigned RXEND = 21;
+constexpr unsigned RY = 22;
+constexpr unsigned RYEND = 23;
+constexpr unsigned RROWSTRIDE = 24;  // input row stride
+constexpr unsigned RCOLSTRIDE = 25;  // input column stride
+constexpr unsigned RCOLP = 26;       // leading column load pointer
+constexpr unsigned ROUT = 27;
+constexpr unsigned ROUTSTEP = 28;    // output column stride
+constexpr unsigned RROWB_IN = 29;    // per-row window base (in)
+constexpr unsigned RROWB_OUT = 30;   // per-row output base
+constexpr unsigned RINROWADV = 31;
+constexpr unsigned ROUTROWADV = 32;
+constexpr unsigned RACCO = 34;       // current / previous accumulator
+constexpr unsigned RACCP = 35;
+constexpr unsigned RS0 = 36;         // window slot addresses
+constexpr unsigned RS1 = 37;
+constexpr unsigned RS2 = 38;
+constexpr unsigned RS3 = 39;         // prefetch slot
+
+constexpr unsigned kK = 3;  // the only generated kernel size
+
+} // namespace
+
+unsigned
+convFiltersResident(unsigned z_shard, unsigned kernel)
+{
+    // Scratchpad budget: filters (k matrices of F x k*z) + bias +
+    // 4 accumulato/temp vectors (32 B each) + (k+1) column slots.
+    const unsigned cols = (kernel + 1) * kernel * z_shard * 2;
+    const unsigned misc = 5 * 32;
+    vip_assert(cols + misc < Scratchpad::kBytes,
+               "z shard too large for the scratchpad");
+    const unsigned left = Scratchpad::kBytes - cols - misc;
+    const unsigned per_filter = kernel * kernel * z_shard * 2;
+    // The parity-pair accumulators are sized to the group; cap at 32
+    // filters (64 B buffers) to bound their scratchpad share.
+    return std::min(32u, std::max(1u, left / per_filter));
+}
+
+std::vector<Fx16>
+packFilters(const std::vector<Fx16> &filters, unsigned in_channels,
+            unsigned kernel, unsigned filter_offset, unsigned num_filters,
+            unsigned z_offset, unsigned z_shard)
+{
+    std::vector<Fx16> blob;
+    blob.reserve(static_cast<std::size_t>(kernel) * num_filters * kernel *
+                 z_shard);
+    const auto filter_stride =
+        static_cast<std::size_t>(in_channels) * kernel * kernel;
+    for (unsigned kx = 0; kx < kernel; ++kx) {
+        for (unsigned f = 0; f < num_filters; ++f) {
+            const Fx16 *filt = filters.data() +
+                               (filter_offset + f) * filter_stride;
+            for (unsigned ky = 0; ky < kernel; ++ky) {
+                for (unsigned zc = 0; zc < z_shard; ++zc) {
+                    const unsigned ic = z_offset + zc;
+                    blob.push_back(
+                        filt[(static_cast<std::size_t>(ic) * kernel + ky) *
+                                 kernel +
+                             kx]);
+                }
+            }
+        }
+    }
+    return blob;
+}
+
+std::vector<Instruction>
+genConvPass(const ConvJob &job)
+{
+    vip_assert(job.in && job.out, "job needs layouts");
+    const unsigned zc = job.zShard;
+    const unsigned F = job.filters;
+    vip_assert(zc > 0 && F > 0 && job.width > 0 &&
+                   job.rowEnd > job.rowBegin,
+               "degenerate conv job");
+    vip_assert(job.in->halo() >= 1, "conv input needs a halo");
+
+    // Accumulator slot: the group's output vector rounded to a power
+    // of two so parity selection is a single shift.
+    unsigned acc_slot = 32;
+    while (acc_slot < F * 2)
+        acc_slot *= 2;
+    unsigned acc_shift = 0;
+    while ((1u << acc_shift) < acc_slot)
+        ++acc_shift;
+
+    vip_assert(job.width >= 2, "conv needs at least two output columns");
+
+    // Scratchpad map. The accumulator/temp buffers are duplicated per
+    // output-column parity: the m.v partials of column x stream while
+    // column x-1's partials are combined, so nothing ever waits for
+    // the vector pipe to drain in steady state.
+    const unsigned mat_bytes = F * kK * zc * 2;
+    const SpAddr sp_filt = 0;
+    const SpAddr sp_bias = sp_filt + kK * mat_bytes;
+    const SpAddr sp_acca = sp_bias + acc_slot;   // ACC x2 parities
+    const SpAddr sp_accb = sp_acca + acc_slot;
+    const SpAddr sp_tmp1 = sp_accb + acc_slot;   // TMP1 x2 parities
+    const SpAddr sp_tmp1b = sp_tmp1 + acc_slot;
+    const SpAddr sp_tmp2 = sp_tmp1b + acc_slot;  // TMP2 x2 parities
+    const SpAddr sp_tmp2b = sp_tmp2 + acc_slot;
+    const SpAddr sp_col = sp_tmp2b + acc_slot;
+    const unsigned col_slot = kK * zc * 2;
+    vip_assert(sp_col + 4 * col_slot <= Scratchpad::kBytes,
+               "conv job does not fit the scratchpad (filters ",
+               kK * mat_bytes, " B + columns ", 4 * col_slot, " B)");
+
+    // Parity-pair buffer registers.
+    constexpr unsigned RTWO = 33;
+    constexpr unsigned RTM1C = 40;
+    constexpr unsigned RTM2C = 41;
+    constexpr unsigned RTM1P = 42;
+    constexpr unsigned RTM2P = 43;
+    constexpr unsigned RTMP1B = 44;
+    constexpr unsigned RTMP2B = 45;
+
+    AsmBuilder b;
+    b.movImm(RZ, 0);
+    b.movImm(RTWO, 2);
+    b.movImm(RVLK, kK * zc);
+    b.movImm(RMR, F);
+    b.movImm(RFLEN, F);
+    b.movImm(RZCLEN, zc);
+    b.movImm(RFILT0, sp_filt);
+    b.movImm(RFILT1, sp_filt + mat_bytes);
+    b.movImm(RFILT2, sp_filt + 2 * mat_bytes);
+    b.movImm(RBIAS, sp_bias);
+    b.movImm(RACCA, sp_acca);
+    b.movImm(RACCB, sp_accb);
+    b.movImm(RTMP1, sp_tmp1);
+    b.movImm(RTMP1B, sp_tmp1b);
+    b.movImm(RTMP2, sp_tmp2);
+    b.movImm(RTMP2B, sp_tmp2b);
+    b.movImm(RCOLBASE, sp_col);
+    b.setVl(RVLK);
+    b.setMr(RMR);
+
+    // Group-loop registers: walking filter/bias pointers and the
+    // per-group output base (each group covers F more out channels).
+    constexpr unsigned RGRP = 46;
+    constexpr unsigned RGRPEND = 47;
+    constexpr unsigned RROWB_IN0 = 48;
+    constexpr unsigned RROWB_OUT0 = 49;
+    constexpr unsigned RFILTP = 50;
+    constexpr unsigned RBIASP = 51;
+    constexpr unsigned RBLOBLEN = 52;
+
+    b.movImm(RFILTP, static_cast<std::int64_t>(job.filterBlob));
+    b.movImm(RBIASP, static_cast<std::int64_t>(job.biasBlob));
+    b.movImm(RBLOBLEN, static_cast<std::int64_t>(kK) * F * kK * zc);
+    b.movImm(RGRP, 0);
+    b.movImm(RGRPEND, job.groups);
+
+    b.movImm(RROWSTRIDE,
+             static_cast<std::int64_t>(job.in->rowStrideBytes()));
+    b.movImm(RCOLSTRIDE,
+             static_cast<std::int64_t>(job.in->colStrideBytes()));
+    b.movImm(ROUTSTEP,
+             static_cast<std::int64_t>(job.out->colStrideBytes()));
+    b.movImm(RINROWADV,
+             static_cast<std::int64_t>(job.in->rowStrideBytes()));
+    b.movImm(ROUTROWADV,
+             static_cast<std::int64_t>(job.out->rowStrideBytes()));
+
+    // Per-row bases: window column wx=-1 starts at input (-1, y-1).
+    b.movImm(RROWB_IN0,
+             static_cast<std::int64_t>(job.in->atSigned(
+                 -1, static_cast<int>(job.rowBegin) - 1, job.zOffset)));
+    b.movImm(RROWB_OUT0,
+             static_cast<std::int64_t>(
+                 job.out->at(0, job.rowBegin, job.filterOffset)));
+    b.movImm(RYEND, job.rowEnd);
+    b.movImm(RXEND, job.width);
+
+    const auto group_top = b.newLabel();
+    b.bind(group_top);
+
+    // Bring in this group's filters (and bias); the ARC holds the
+    // first m.v until they land. Drain first: the previous group's
+    // last m.v must not still be streaming out of the filter region.
+    b.vdrain();
+    b.ldSram(RFILT0, RFILTP, RBLOBLEN);
+    b.scalarImm(ScalarOp::Sll, RT, RBLOBLEN, 1);
+    b.scalar(ScalarOp::Add, RFILTP, RFILTP, RT);
+    if (job.finalize) {
+        b.ldSram(RBIAS, RBIASP, RFLEN);
+        b.addImm(RBIASP, RBIASP, 2ll * F);
+    }
+    b.mov(RROWB_IN, RROWB_IN0);
+    b.mov(RROWB_OUT, RROWB_OUT0);
+    b.movImm(RY, job.rowBegin);
+
+    const auto row_top = b.newLabel();
+    b.bind(row_top);
+
+    b.mov(RCOLP, RROWB_IN);
+    b.mov(ROUT, RROWB_OUT);
+    b.movImm(RX, 0);
+
+    // Row prologue: load window columns wx = -1, 0, 1 into slots 0..2.
+    // A column-major input makes each 1 x k x z column one contiguous
+    // transfer; a row-major one needs a chunk per window row.
+    for (unsigned s = 0; s < 3; ++s) {
+        b.movImm(RS0, sp_col + s * col_slot);
+        if (job.in->colMajor()) {
+            b.ldSram(RS0, RCOLP, RVLK);
+        } else {
+            b.mov(RT, RCOLP);
+            for (unsigned ky = 0; ky < kK; ++ky) {
+                b.addImm(RT4, RS0, ky * zc * 2);
+                b.ldSram(RT4, RT, RZCLEN);
+                if (ky + 1 < kK)
+                    b.scalar(ScalarOp::Add, RT, RT, RROWSTRIDE);
+            }
+        }
+        b.scalar(ScalarOp::Add, RCOLP, RCOLP, RCOLSTRIDE);
+    }
+
+    const auto x_loop = b.newLabel();
+    b.bind(x_loop);
+
+    // Window slot addresses: slot(wx) = (wx + 1) & 3.
+    const unsigned slot_regs[4] = {RS0, RS1, RS2, RS3};
+    for (unsigned j = 0; j < 4; ++j) {
+        b.addImm(RT, RX, j);
+        b.scalarImm(ScalarOp::And, RT, RT, 3);
+        emitMulConst(b, RT2, RT, col_slot, RT3);
+        b.scalar(ScalarOp::Add, slot_regs[j], RT2, RCOLBASE);
+    }
+
+    // Parity-selected buffers: current (written by this column's m.v
+    // stream) and previous (finalized below while the stream runs).
+    b.scalarImm(ScalarOp::And, RT, RX, 1);
+    b.scalarImm(ScalarOp::Sll, RT, RT, acc_shift);
+    b.scalar(ScalarOp::Add, RACCO, RT, RACCA);
+    b.scalar(ScalarOp::Sub, RACCP, RACCB, RT);
+    b.scalar(ScalarOp::Add, RTM1C, RT, RTMP1);
+    b.scalar(ScalarOp::Sub, RTM1P, RTMP1B, RT);
+    b.scalar(ScalarOp::Add, RTM2C, RT, RTMP2);
+    b.scalar(ScalarOp::Sub, RTM2P, RTMP2B, RT);
+
+    // Store column x-2's finalized output (same parity as x) before
+    // the m.v stream overwrites its accumulator.
+    const auto no_store = b.newLabel();
+    b.branch(BranchCond::Lt, RX, RTWO, no_store);
+    b.stSram(RACCO, ROUT, RFLEN);
+    b.scalar(ScalarOp::Add, ROUT, ROUT, ROUTSTEP);
+    b.bind(no_store);
+
+    // Apply the three filter columns to the window (Eq. 5a/5b).
+    b.mv(VecOp::Mul, RedOp::Add, RACCO, RFILT0, RS0);
+    b.mv(VecOp::Mul, RedOp::Add, RTM1C, RFILT1, RS1);
+    b.mv(VecOp::Mul, RedOp::Add, RTM2C, RFILT2, RS2);
+
+    // Prefetch the next window column while the filters run.
+    if (job.in->colMajor()) {
+        b.ldSram(RS3, RCOLP, RVLK);
+    } else {
+        b.mov(RT, RCOLP);
+        for (unsigned ky = 0; ky < kK; ++ky) {
+            b.addImm(RT4, RS3, ky * zc * 2);
+            b.ldSram(RT4, RT, RZCLEN);
+            if (ky + 1 < kK)
+                b.scalar(ScalarOp::Add, RT, RT, RROWSTRIDE);
+        }
+    }
+    b.scalar(ScalarOp::Add, RCOLP, RCOLP, RCOLSTRIDE);
+
+    // Combine column x-1's partials (Eq. 5c/5d): they finished while
+    // this column streamed, so no drain is needed — the classic
+    // software-pipelined schedule the exposed-latency ISA demands.
+    const auto no_fin = b.newLabel();
+    b.branch(BranchCond::Eq, RX, RZ, no_fin);
+    b.setVl(RFLEN);
+    b.vv(VecOp::Add, RACCP, RACCP, RTM1P);
+    b.vv(VecOp::Add, RACCP, RACCP, RTM2P);
+    if (job.finalize) {
+        b.vv(VecOp::Add, RACCP, RACCP, RBIAS);
+        b.vs(VecOp::Max, RACCP, RACCP, RZ);
+    }
+    b.setVl(RVLK);
+    b.bind(no_fin);
+
+    b.addImm(RX, RX, 1);
+    b.branch(BranchCond::Lt, RX, RXEND, x_loop);
+
+    // Row epilogue: finalize the last column, then flush the last two
+    // outputs (one drain per row, not per column).
+    const unsigned last_par = (job.width - 1) & 1;
+    b.vdrain();
+    b.movImm(RT, sp_acca + last_par * acc_slot);
+    b.movImm(RT2, sp_tmp1 + last_par * acc_slot);
+    b.movImm(RT3, sp_tmp2 + last_par * acc_slot);
+    b.setVl(RFLEN);
+    b.vv(VecOp::Add, RT, RT, RT2);
+    b.vv(VecOp::Add, RT, RT, RT3);
+    if (job.finalize) {
+        b.vv(VecOp::Add, RT, RT, RBIAS);
+        b.vs(VecOp::Max, RT, RT, RZ);
+    }
+    b.setVl(RVLK);
+    b.movImm(RT2, sp_acca + ((job.width - 2) & 1) * acc_slot);
+    b.stSram(RT2, ROUT, RFLEN);
+    b.scalar(ScalarOp::Add, ROUT, ROUT, ROUTSTEP);
+    b.vdrain();
+    b.stSram(RT, ROUT, RFLEN);
+
+    b.scalar(ScalarOp::Add, RROWB_IN, RROWB_IN, RINROWADV);
+    b.scalar(ScalarOp::Add, RROWB_OUT, RROWB_OUT, ROUTROWADV);
+    b.addImm(RY, RY, 1);
+    b.branch(BranchCond::Lt, RY, RYEND, row_top);
+
+    // Next filter group covers the next F output channels.
+    b.addImm(RROWB_OUT0, RROWB_OUT0, 2ll * F);
+    b.addImm(RGRP, RGRP, 1);
+    b.branch(BranchCond::Lt, RGRP, RGRPEND, group_top);
+
+    b.memfence();
+    b.halt();
+    return b.finish();
+}
+
+std::vector<Fx16>
+makeBiasRow(const std::vector<Fx16> &bias, unsigned chunk_elems)
+{
+    vip_assert(!bias.empty() && chunk_elems % bias.size() == 0,
+               "chunk must be a whole number of channel vectors");
+    std::vector<Fx16> row(chunk_elems);
+    for (unsigned i = 0; i < chunk_elems; ++i)
+        row[i] = bias[i % bias.size()];
+    return row;
+}
+
+std::vector<Instruction>
+genConvAccum(const ConvAccumJob &job)
+{
+    const auto S = static_cast<unsigned>(job.partials.size());
+    vip_assert(S >= 2 && job.out && job.chunkElems > 0 &&
+                   job.chunksPerRow > 0,
+               "degenerate accumulation job");
+    vip_assert(S <= 16, "too many shards for the register map");
+
+    const unsigned chunk_bytes = job.chunkElems * 2;
+    const SpAddr sp_biasrow = 0;
+    const SpAddr sp_acc = sp_biasrow + chunk_bytes;
+    const SpAddr sp_tmp = sp_acc + chunk_bytes;
+    vip_assert(sp_tmp + chunk_bytes <= Scratchpad::kBytes,
+               "accumulation chunk too large");
+
+    // r40 + s: per-shard row pointers.
+    constexpr unsigned RPART0 = 40;
+    constexpr unsigned RCHUNKS = 33;
+
+    AsmBuilder b;
+    b.movImm(RZ, 0);
+    b.movImm(RVLK, job.chunkElems);
+    b.setVl(RVLK);
+    b.movImm(RACCA, sp_acc);
+    b.movImm(RTMP1, sp_tmp);
+    b.movImm(RBIAS, sp_biasrow);
+
+    b.movImm(RT, static_cast<std::int64_t>(job.biasRowBlob));
+    b.ldSram(RBIAS, RT, RVLK);
+
+    for (unsigned s = 0; s < S; ++s) {
+        b.movImm(RPART0 + s,
+                 static_cast<std::int64_t>(
+                     job.partials[s]->at(0, job.rowBegin)));
+    }
+    b.movImm(ROUT, static_cast<std::int64_t>(
+                       job.out->at(0, job.rowBegin)));
+    b.movImm(RY, job.rowBegin);
+    b.movImm(RYEND, job.rowEnd);
+    b.movImm(RCHUNKS, job.chunksPerRow);
+    // Row-stride corrections applied after each row: the chunk loop
+    // advances pointers by a full row of data; halos (if any) need the
+    // difference added.
+    const std::int64_t row_data =
+        static_cast<std::int64_t>(job.chunkElems) * job.chunksPerRow * 2;
+    b.movImm(RINROWADV,
+             static_cast<std::int64_t>(job.partials[0]->rowStrideBytes()) -
+                 row_data);
+    b.movImm(ROUTROWADV,
+             static_cast<std::int64_t>(job.out->rowStrideBytes()) -
+                 row_data);
+    b.movImm(RT4, chunk_bytes);
+
+    const auto row_top = b.newLabel();
+    b.bind(row_top);
+    b.movImm(RX, 0);
+
+    const auto chunk_loop = b.newLabel();
+    b.bind(chunk_loop);
+    b.ldSram(RACCA, RPART0 + 0, RVLK);
+    for (unsigned s = 1; s < S; ++s) {
+        b.ldSram(RTMP1, RPART0 + s, RVLK);
+        b.vv(VecOp::Add, RACCA, RACCA, RTMP1);
+    }
+    b.vv(VecOp::Add, RACCA, RACCA, RBIAS);
+    b.vs(VecOp::Max, RACCA, RACCA, RZ);
+    b.vdrain();
+    b.stSram(RACCA, ROUT, RVLK);
+    for (unsigned s = 0; s < S; ++s)
+        b.scalar(ScalarOp::Add, RPART0 + s, RPART0 + s, RT4);
+    b.scalar(ScalarOp::Add, ROUT, ROUT, RT4);
+    b.addImm(RX, RX, 1);
+    b.branch(BranchCond::Lt, RX, RCHUNKS, chunk_loop);
+
+    for (unsigned s = 0; s < S; ++s)
+        b.scalar(ScalarOp::Add, RPART0 + s, RPART0 + s, RINROWADV);
+    b.scalar(ScalarOp::Add, ROUT, ROUT, ROUTROWADV);
+    b.addImm(RY, RY, 1);
+    b.branch(BranchCond::Lt, RY, RYEND, row_top);
+
+    b.memfence();
+    b.halt();
+    return b.finish();
+}
+
+} // namespace vip

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * VIP assembly generators for convolutional layers (Sec. IV-B).
+ *
+ * The paper's template: keep a group of filters resident in the
+ * scratchpad; keep a (k+1)-column ring of 1 x k x z input columns,
+ * prefetching the next column while the resident filters are applied
+ * to the current k x k x z window. A window column is applied with one
+ * m.v.mul.add whose matrix holds each filter's kx-th column
+ * (Eq. 5a/5b of the paper's vectorized decomposition); the per-column
+ * partials combine with v.v.add (Eq. 5c); bias and ReLU fuse into the
+ * same pass (Eq. 5d). Layers whose filters exceed the 4 KiB scratchpad
+ * in z are sharded: each shard emits raw partial feature maps, and a
+ * separate accumulation pass combines shards, adds bias, and applies
+ * ReLU — with communication limited to that single pass, as in the
+ * paper.
+ *
+ * Only k = 3 is generated (every VGG convolution); the ring and window
+ * addressing use the k+1 = 4 modulus.
+ */
+
+#ifndef VIP_KERNELS_CONV_KERNEL_HH
+#define VIP_KERNELS_CONV_KERNEL_HH
+
+#include <vector>
+
+#include "isa/isa.hh"
+#include "kernels/layout.hh"
+#include "workloads/nn.hh"
+
+namespace vip {
+
+/** One PE's slice of a convolution pass. */
+struct ConvJob
+{
+    const FmapDramLayout *in = nullptr;   ///< input shard's layout
+    const FmapDramLayout *out = nullptr;  ///< output (or partial) layout
+
+    Addr filterBlob = 0;  ///< packFilters() blobs, one per group,
+                          ///< packed back to back
+    Addr biasBlob = 0;    ///< groups x F bias values (finalize mode)
+
+    unsigned zShard = 0;      ///< input channels this shard covers
+    unsigned zOffset = 0;     ///< first input channel of the shard
+    unsigned filters = 0;     ///< F: filters resident per group
+    unsigned filterOffset = 0; ///< first output channel of group 0
+    unsigned groups = 1;      ///< filter groups cycled in-program
+
+    unsigned rowBegin = 0;   ///< output rows [rowBegin, rowEnd)
+    unsigned rowEnd = 0;
+    unsigned width = 0;      ///< output row width (full tile width)
+
+    /** true: add bias + ReLU and write the final output (single-shard
+     *  layers); false: write raw partials for the accumulation pass. */
+    bool finalize = true;
+};
+
+/**
+ * Pack one filter group for the scratchpad-resident m.v layout:
+ * kx-major matrices of F rows, each row ky-major then channel. Returns
+ * the blob (upload at ConvJob::filterBlob).
+ *
+ * @param filters  full [out][in][ky][kx] tensor of the layer
+ */
+std::vector<Fx16> packFilters(const std::vector<Fx16> &filters,
+                              unsigned in_channels, unsigned kernel,
+                              unsigned filter_offset, unsigned num_filters,
+                              unsigned z_offset, unsigned z_shard);
+
+/** Generate one conv pass program (ends in halt). */
+std::vector<Instruction> genConvPass(const ConvJob &job);
+
+/** One PE's slice of the shard-accumulation pass. */
+struct ConvAccumJob
+{
+    std::vector<const FmapDramLayout *> partials; ///< one per shard
+    const FmapDramLayout *out = nullptr;
+    Addr biasRowBlob = 0;   ///< repeating per-channel bias, chunkElems long
+    unsigned rowBegin = 0;
+    unsigned rowEnd = 0;
+    unsigned chunkElems = 0;   ///< elements per vector chunk
+    unsigned chunksPerRow = 0; ///< chunkElems * chunksPerRow = row elems
+};
+
+/**
+ * Build the repeating bias blob for the accumulation pass: the
+ * per-channel bias tiled to @p chunk_elems (chunk_elems must be a
+ * multiple of the channel count).
+ */
+std::vector<Fx16> makeBiasRow(const std::vector<Fx16> &bias,
+                              unsigned chunk_elems);
+
+/** Generate the accumulation pass program (ends in halt). */
+std::vector<Instruction> genConvAccum(const ConvAccumJob &job);
+
+/** Filters the scratchpad can hold for a shard of @p z_shard channels. */
+unsigned convFiltersResident(unsigned z_shard, unsigned kernel = 3);
+
+} // namespace vip
+
+#endif // VIP_KERNELS_CONV_KERNEL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small shared helpers for kernel generators.
+ */
+
+#ifndef VIP_KERNELS_EMIT_UTIL_HH
+#define VIP_KERNELS_EMIT_UTIL_HH
+
+#include "isa/builder.hh"
+#include "sim/logging.hh"
+
+namespace vip {
+
+/**
+ * Emit dst = src * constant using the shift-and-add decomposition of
+ * the constant's set bits (the ISA has no scalar multiply; the paper's
+ * address arithmetic does the same). Clobbers @p tmp. dst must differ
+ * from src and tmp.
+ */
+inline void
+emitMulConst(AsmBuilder &b, unsigned dst, unsigned src, std::uint64_t c,
+             unsigned tmp)
+{
+    vip_assert(dst != src && dst != tmp && src != tmp,
+               "emitMulConst needs three distinct registers");
+    if (c == 0) {
+        b.movImm(dst, 0);
+        return;
+    }
+    bool first = true;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        if (!(c & (1ull << bit)))
+            continue;
+        if (first) {
+            b.scalarImm(ScalarOp::Sll, dst, src, bit);
+            first = false;
+        } else {
+            b.scalarImm(ScalarOp::Sll, tmp, src, bit);
+            b.scalar(ScalarOp::Add, dst, dst, tmp);
+        }
+    }
+}
+
+/** Number of instructions emitMulConst will emit for @p c. */
+inline unsigned
+mulConstCost(std::uint64_t c)
+{
+    const unsigned bits = static_cast<unsigned>(__builtin_popcountll(c));
+    return bits == 0 ? 1 : 2 * bits - 1;
+}
+
+} // namespace vip
+
+#endif // VIP_KERNELS_EMIT_UTIL_HH

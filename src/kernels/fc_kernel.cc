@@ -1,0 +1,252 @@
+#include "kernels/fc_kernel.hh"
+
+#include "isa/builder.hh"
+#include "kernels/emit_util.hh"
+#include "pe/scratchpad.hh"
+#include "sim/logging.hh"
+
+namespace vip {
+
+namespace {
+
+constexpr unsigned RZ = 1;
+constexpr unsigned RSEGL = 2;    // segment length (m.v VL)
+constexpr unsigned RONE = 3;     // 1 (m.v MR)
+constexpr unsigned ROBL = 4;     // out-block length
+constexpr unsigned RSEG = 5;     // sp addr of the resident segment
+constexpr unsigned RW0 = 6;      // sp addrs of the two weight slots
+constexpr unsigned RW1 = 7;
+constexpr unsigned ROB = 8;      // sp addr of the out block
+constexpr unsigned RBIASB = 9;   // sp addr of the bias block
+constexpr unsigned RT = 15;
+constexpr unsigned RT2 = 16;
+constexpr unsigned RT3 = 17;
+constexpr unsigned RR = 20;      // row counter
+constexpr unsigned RREND = 21;
+constexpr unsigned RWP = 22;     // weight row load pointer
+constexpr unsigned RWADV = 23;   // matrix row stride (inputs * 2)
+constexpr unsigned ROUTP = 24;   // output store pointer
+constexpr unsigned RBIASP = 25;  // bias load pointer
+constexpr unsigned RMASK = 26;   // outBlock - 1
+constexpr unsigned ROBB = 27;    // outBlock bytes
+
+// Accumulation pass.
+constexpr unsigned RCHUNK = 2;
+constexpr unsigned RACC = 5;     // sp acc
+constexpr unsigned RTMP0 = 6;    // ping-pong partial buffers
+constexpr unsigned RTMP1 = 7;
+constexpr unsigned RBIASC = 8;   // sp bias chunk
+constexpr unsigned RS = 28;      // partial index
+constexpr unsigned RSEND = 29;
+constexpr unsigned RPP = 30;     // partial walk pointer
+constexpr unsigned RPSTR = 31;   // partial stride
+constexpr unsigned RO = 32;      // chunk cursor
+constexpr unsigned ROEND = 33;
+constexpr unsigned RCHB = 34;    // chunk bytes
+
+} // namespace
+
+std::vector<Instruction>
+genFcPartial(const FcPartialJob &job)
+{
+    const unsigned seg = job.segLen;
+    const unsigned ob = job.outBlock;
+    const unsigned rows = job.rowEnd - job.rowBegin;
+    vip_assert(seg > 0 && rows > 0, "degenerate FC job");
+    vip_assert((ob & (ob - 1)) == 0, "outBlock must be a power of two");
+    vip_assert(rows % ob == 0, "row count must be a multiple of outBlock");
+
+    const unsigned seg_bytes = seg * 2;
+    const SpAddr sp_seg = 0;
+    const SpAddr sp_w0 = sp_seg + seg_bytes;
+    const SpAddr sp_w1 = sp_w0 + seg_bytes;
+    const SpAddr sp_ob = sp_w1 + seg_bytes;
+    const SpAddr sp_bias = sp_ob + ob * 2;
+    const SpAddr sp_end = sp_bias + (job.finalize ? ob * 2 : 0);
+    vip_assert(sp_end <= Scratchpad::kBytes,
+               "FC job does not fit the scratchpad (segment ", seg_bytes,
+               " B x3 + blocks)");
+
+    AsmBuilder b;
+    b.movImm(RZ, 0);
+    b.movImm(RSEGL, seg);
+    b.movImm(RONE, 1);
+    b.movImm(ROBL, ob);
+    b.movImm(RSEG, sp_seg);
+    b.movImm(RW0, sp_w0);
+    b.movImm(RW1, sp_w1);
+    b.movImm(ROB, sp_ob);
+    b.movImm(RBIASB, sp_bias);
+    b.movImm(RMASK, ob - 1);
+    b.movImm(ROBB, 2ll * ob);
+    b.setVl(RSEGL);
+    b.setMr(RONE);
+
+    // Pass 1 (the local copy): load the resident input segment.
+    b.movImm(RT, static_cast<std::int64_t>(job.inputBase +
+                                           2ull * job.segOffset));
+    b.ldSram(RSEG, RT, RSEGL);
+
+    // Weight pointer: row rowBegin, columns [segOffset, segOffset+seg).
+    b.movImm(RWP, static_cast<std::int64_t>(
+                      job.weightBase +
+                      2ull * (static_cast<std::uint64_t>(job.rowBegin) *
+                                  job.inputs +
+                              job.segOffset)));
+    b.movImm(RWADV, 2ll * job.inputs);
+    b.movImm(ROUTP, static_cast<std::int64_t>(job.outBase));
+    if (job.finalize) {
+        b.movImm(RBIASP, static_cast<std::int64_t>(
+                             job.biasBase + 2ull * job.rowBegin));
+    }
+    b.movImm(RR, 0);
+    b.movImm(RREND, rows);
+
+    // Prologue: prefetch the first two weight rows.
+    b.ldSram(RW0, RWP, RSEGL);
+    b.scalar(ScalarOp::Add, RWP, RWP, RWADV);
+    b.ldSram(RW1, RWP, RSEGL);
+    b.scalar(ScalarOp::Add, RWP, RWP, RWADV);
+
+    const auto row_top = b.newLabel();
+    b.bind(row_top);
+
+    // Current weight slot: w0 + (r & 1) * seg_bytes.
+    b.scalarImm(ScalarOp::And, RT, RR, 1);
+    emitMulConst(b, RT2, RT, seg_bytes, RT3);
+    b.scalar(ScalarOp::Add, RT2, RT2, RW0);
+
+    // Destination element inside the out block.
+    b.scalar(ScalarOp::And, RT, RR, RMASK);
+    b.scalarImm(ScalarOp::Sll, RT, RT, 1);
+    b.scalar(ScalarOp::Add, RT, RT, ROB);
+
+    // partial[r] = dot(weight row, segment).
+    b.mv(VecOp::Mul, RedOp::Add, RT, RT2, RSEG);
+
+    // Prefetch row r+2 into the slot just consumed.
+    b.ldSram(RT2, RWP, RSEGL);
+    b.scalar(ScalarOp::Add, RWP, RWP, RWADV);
+
+    // Flush the out block when it fills.
+    const auto no_flush = b.newLabel();
+    b.scalar(ScalarOp::And, RT, RR, RMASK);
+    b.branch(BranchCond::Ne, RT, RMASK, no_flush);
+    if (job.finalize) {
+        b.ldSram(RBIASB, RBIASP, ROBL);
+        b.scalar(ScalarOp::Add, RBIASP, RBIASP, ROBB);
+        b.setVl(ROBL);
+        b.vdrain();
+        b.vv(VecOp::Add, ROB, ROB, RBIASB);
+        b.vs(VecOp::Max, ROB, ROB, RZ);
+    }
+    b.vdrain();
+    b.stSram(ROB, ROUTP, ROBL);
+    b.scalar(ScalarOp::Add, ROUTP, ROUTP, ROBB);
+    if (job.finalize)
+        b.setVl(RSEGL);
+    b.bind(no_flush);
+
+    b.addImm(RR, RR, 1);
+    b.branch(BranchCond::Lt, RR, RREND, row_top);
+
+    b.memfence();
+    b.halt();
+    return b.finish();
+}
+
+std::vector<Instruction>
+genFcAccum(const FcAccumJob &job)
+{
+    const unsigned chunk = job.chunk;
+    const unsigned outs = job.outEnd - job.outBegin;
+    vip_assert(job.countOuter * job.countInner >= 2 && chunk > 0 &&
+                   outs > 0,
+               "degenerate accum job");
+    vip_assert(outs % chunk == 0, "chunk must divide the output range");
+
+    const unsigned chunk_bytes = chunk * 2;
+    const SpAddr sp_acc = 0;
+    const SpAddr sp_tmp = sp_acc + chunk_bytes;
+    const SpAddr sp_bias = sp_tmp + chunk_bytes;
+    vip_assert(sp_bias + chunk_bytes <= Scratchpad::kBytes,
+               "accumulation chunk too large");
+
+    // Extra registers for the two-level walk.
+    constexpr unsigned ROUTERB = 35;  // outer-level walking base
+    constexpr unsigned RI = 36;       // inner counter
+    constexpr unsigned RIEND = 37;
+    constexpr unsigned RPSTRI = 38;   // inner stride
+
+    AsmBuilder b;
+    b.movImm(RZ, 0);
+    b.movImm(RCHUNK, chunk);
+    b.setVl(RCHUNK);
+    b.movImm(RACC, sp_acc);
+    b.movImm(RTMP0, sp_tmp);
+    b.movImm(RBIASC, sp_bias);
+    b.movImm(RPSTR, static_cast<std::int64_t>(job.strideOuter));
+    b.movImm(RPSTRI, static_cast<std::int64_t>(job.strideInner));
+    b.movImm(RCHB, chunk_bytes);
+    b.movImm(RSEND, job.countOuter);
+    b.movImm(RIEND, job.countInner);
+
+    b.movImm(RO, 0);
+    b.movImm(ROEND, outs / chunk);
+    b.movImm(ROUTP, static_cast<std::int64_t>(job.outBase +
+                                              2ull * job.outBegin));
+    b.movImm(RBIASP, static_cast<std::int64_t>(job.biasBase +
+                                               2ull * job.outBegin));
+    // RT3 tracks the chunk offset into every partial array.
+    b.movImm(RT3, static_cast<std::int64_t>(job.partialBase0 +
+                                            2ull * job.outBegin));
+
+    const auto chunk_top = b.newLabel();
+    b.bind(chunk_top);
+
+    // ACC accumulates partials outer-major, inner-minor; the first
+    // array initializes it with a plain load.
+    b.mov(ROUTERB, RT3);
+    b.ldSram(RACC, ROUTERB, RCHUNK);
+    b.movImm(RS, 0);
+
+    const auto outer_loop = b.newLabel();
+    b.bind(outer_loop);
+    b.mov(RPP, ROUTERB);
+    b.movImm(RI, 0);
+
+    const auto inner_loop = b.newLabel();
+    b.bind(inner_loop);
+    // Skip (o=0, i=0): it seeded ACC above.
+    const auto skip_first = b.newLabel();
+    b.scalar(ScalarOp::Or, RT, RS, RI);
+    b.branch(BranchCond::Eq, RT, RZ, skip_first);
+    b.ldSram(RTMP0, RPP, RCHUNK);
+    b.vv(VecOp::Add, RACC, RACC, RTMP0);
+    b.bind(skip_first);
+    b.scalar(ScalarOp::Add, RPP, RPP, RPSTRI);
+    b.addImm(RI, RI, 1);
+    b.branch(BranchCond::Lt, RI, RIEND, inner_loop);
+
+    b.scalar(ScalarOp::Add, ROUTERB, ROUTERB, RPSTR);
+    b.addImm(RS, RS, 1);
+    b.branch(BranchCond::Lt, RS, RSEND, outer_loop);
+
+    b.ldSram(RBIASC, RBIASP, RCHUNK);
+    b.scalar(ScalarOp::Add, RBIASP, RBIASP, RCHB);
+    b.vv(VecOp::Add, RACC, RACC, RBIASC);
+    b.vs(VecOp::Max, RACC, RACC, RZ);
+    b.vdrain();
+    b.stSram(RACC, ROUTP, RCHUNK);
+    b.scalar(ScalarOp::Add, ROUTP, ROUTP, RCHB);
+    b.scalar(ScalarOp::Add, RT3, RT3, RCHB);
+
+    b.addImm(RO, RO, 1);
+    b.branch(BranchCond::Lt, RO, ROEND, chunk_top);
+
+    b.memfence();
+    b.halt();
+    return b.finish();
+}
+
+} // namespace vip

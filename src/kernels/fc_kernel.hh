@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fully-connected layer kernel generators (Sec. IV-C).
+ *
+ * The paper executes an FC layer in three passes: (1) every vault
+ * copies its input segment locally, (2) PEs compute partial products
+ * of their weight-matrix tiles against the resident segment, (3)
+ * accumulator PEs combine the per-vault partials, add biases, and
+ * apply ReLU. genFcPartial covers passes 1-2 for one PE (the segment
+ * load is the local copy); genFcAccum is pass 3. A single-segment
+ * partial pass with finalize=true performs the entire layer on one PE
+ * (used for verification).
+ */
+
+#ifndef VIP_KERNELS_FC_KERNEL_HH
+#define VIP_KERNELS_FC_KERNEL_HH
+
+#include <vector>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+#include "workloads/fixed.hh"
+
+namespace vip {
+
+struct FcPartialJob
+{
+    Addr weightBase = 0;  ///< row-major [outputs x inputs] matrix
+    Addr inputBase = 0;   ///< the full input vector
+    Addr outBase = 0;     ///< partials (or final outputs) for rowBegin..
+    Addr biasBase = 0;    ///< finalize mode only
+
+    unsigned inputs = 0;     ///< full layer input length
+    unsigned segOffset = 0;  ///< this vault's segment start
+    unsigned segLen = 0;     ///< segment length (elements)
+    unsigned rowBegin = 0;   ///< output rows [rowBegin, rowEnd)
+    unsigned rowEnd = 0;
+
+    /** Outputs buffered in the scratchpad between stores. */
+    unsigned outBlock = 64;
+
+    /** Add bias + ReLU and write final outputs (single-segment only). */
+    bool finalize = false;
+};
+
+std::vector<Instruction> genFcPartial(const FcPartialJob &job);
+
+struct FcAccumJob
+{
+    /**
+     * Partial arrays form a two-level grid: array (o, i) lives at
+     * partialBase0 + o * strideOuter + i * strideInner. In the
+     * machine-scale layout the outer level walks vaults (stride = one
+     * vault's DRAM region) and the inner level the PEs within a vault.
+     * Combination order is outer-major, inner-minor ascending, which
+     * must equal input-segment order for bit-exactness against
+     * fcLayerSegmented. Single-level walks set countInner = 1.
+     */
+    Addr partialBase0 = 0;
+    std::uint64_t strideOuter = 0;
+    unsigned countOuter = 0;
+    std::uint64_t strideInner = 0;
+    unsigned countInner = 1;
+
+    Addr outBase = 0;
+    Addr biasBase = 0;
+    unsigned outBegin = 0;  ///< outputs [outBegin, outEnd)
+    unsigned outEnd = 0;
+    unsigned chunk = 256;   ///< outputs per vector chunk
+};
+
+std::vector<Instruction> genFcAccum(const FcAccumJob &job);
+
+} // namespace vip
+
+#endif // VIP_KERNELS_FC_KERNEL_HH

@@ -1,0 +1,235 @@
+#include "kernels/hier_kernel.hh"
+
+#include "isa/builder.hh"
+#include "sim/logging.hh"
+
+namespace vip {
+
+namespace {
+
+constexpr unsigned RZ = 1;
+constexpr unsigned RVL = 2;
+constexpr unsigned RT = 15;
+
+/**
+ * From a 0/1 parity in @p rpar_in, compute p * slot_bytes into
+ * @p rcur and (1-p) * slot_bytes into @p rother (slot_bytes is a
+ * power of two). Clobbers @p rtmp.
+ */
+void
+emitParityOffsets(AsmBuilder &b, unsigned rpar_in, unsigned slot_bytes,
+                  unsigned rcur, unsigned rother, unsigned rtmp)
+{
+    unsigned shift = 0;
+    while ((1u << shift) < slot_bytes)
+        ++shift;
+    b.scalarImm(ScalarOp::Sll, rcur, rpar_in, shift);
+    b.movImm(rtmp, slot_bytes);
+    b.scalar(ScalarOp::Sub, rother, rtmp, rcur);
+}
+
+} // namespace
+
+std::vector<Instruction>
+genConstruct(const ConstructJob &job)
+{
+    const MrfDramLayout &fine = *job.fine;
+    const MrfDramLayout &coarse = *job.coarse;
+    const unsigned L = fine.labels();
+    vip_assert(coarse.labels() == L, "label mismatch");
+    vip_assert(fine.width() % 2 == 0 && fine.height() % 2 == 0,
+               "construct kernel needs even fine dimensions");
+    vip_assert(job.rowEnd > job.rowBegin &&
+                   job.rowEnd <= coarse.height(),
+               "bad row range");
+    const unsigned lw = L * 2;
+
+    // Scratchpad: four child vectors + the accumulator.
+    constexpr unsigned RP0 = 4, RP1 = 5, RP2 = 6, RP3 = 7, RACC = 8;
+    constexpr unsigned RIN0 = 20, RIN1 = 21, ROUT = 22;
+    constexpr unsigned RROW0 = 23, RROW1 = 24, RROWO = 25;
+    constexpr unsigned RINSTEP = 26, ROUTSTEP = 27;
+    constexpr unsigned RINADV = 28, ROUTADV = 29;
+    constexpr unsigned RX = 40, RXEND = 41, RY = 42, RYEND = 43;
+
+    AsmBuilder b;
+    b.movImm(RZ, 0);
+    b.movImm(RVL, L);
+    b.setVl(RVL);
+    for (unsigned s = 0; s < 4; ++s)
+        b.movImm(RP0 + s, s * ((lw + 31) & ~31u));
+    b.movImm(RACC, 4 * ((lw + 31) & ~31u));
+
+    b.movImm(RINSTEP, 2ll * static_cast<std::int64_t>(
+                               fine.colStrideBytes()));
+    b.movImm(ROUTSTEP,
+             static_cast<std::int64_t>(coarse.colStrideBytes()));
+    b.movImm(RINADV, 2ll * static_cast<std::int64_t>(
+                              fine.rowStrideBytes()));
+    b.movImm(ROUTADV,
+             static_cast<std::int64_t>(coarse.rowStrideBytes()));
+    b.movImm(RROW0, static_cast<std::int64_t>(
+                        fine.dataAddr(0, 2 * job.rowBegin)));
+    b.movImm(RROW1, static_cast<std::int64_t>(
+                        fine.dataAddr(0, 2 * job.rowBegin + 1)));
+    b.movImm(RROWO, static_cast<std::int64_t>(
+                        coarse.dataAddr(0, job.rowBegin)));
+    b.movImm(RY, job.rowBegin);
+    b.movImm(RYEND, job.rowEnd);
+    b.movImm(RXEND, coarse.width());
+
+    const auto row_top = b.newLabel();
+    b.bind(row_top);
+    b.mov(RIN0, RROW0);
+    b.mov(RIN1, RROW1);
+    b.mov(ROUT, RROWO);
+    b.movImm(RX, 0);
+
+    const auto x_loop = b.newLabel();
+    b.bind(x_loop);
+    // Four children, loaded in the reference coarsen() order.
+    b.ldSram(RP0, RIN0, RVL);
+    b.addImm(RT, RIN0, static_cast<std::int64_t>(
+                           fine.colStrideBytes()));
+    b.ldSram(RP1, RT, RVL);
+    b.ldSram(RP2, RIN1, RVL);
+    b.addImm(RT, RIN1, static_cast<std::int64_t>(
+                           fine.colStrideBytes()));
+    b.ldSram(RP3, RT, RVL);
+    // acc = ((c0 + c1) + c2) + c3, the reference association order.
+    b.vv(VecOp::Add, RACC, RP0, RP1);
+    b.vv(VecOp::Add, RACC, RACC, RP2);
+    b.vv(VecOp::Add, RACC, RACC, RP3);
+    b.vdrain();
+    b.stSram(RACC, ROUT, RVL);
+    b.scalar(ScalarOp::Add, RIN0, RIN0, RINSTEP);
+    b.scalar(ScalarOp::Add, RIN1, RIN1, RINSTEP);
+    b.scalar(ScalarOp::Add, ROUT, ROUT, ROUTSTEP);
+    b.addImm(RX, RX, 1);
+    b.branch(BranchCond::Lt, RX, RXEND, x_loop);
+
+    b.scalar(ScalarOp::Add, RROW0, RROW0, RINADV);
+    b.scalar(ScalarOp::Add, RROW1, RROW1, RINADV);
+    b.scalar(ScalarOp::Add, RROWO, RROWO, ROUTADV);
+    b.addImm(RY, RY, 1);
+    b.branch(BranchCond::Lt, RY, RYEND, row_top);
+
+    b.memfence();
+    b.halt();
+    return b.finish();
+}
+
+std::vector<Instruction>
+genCopyMessages(const CopyJob &job)
+{
+    const MrfDramLayout &coarse = *job.coarse;
+    const MrfDramLayout &fine = *job.fine;
+    const unsigned L = fine.labels();
+    vip_assert(coarse.labels() == L, "label mismatch");
+    vip_assert(job.rowEnd > job.rowBegin && job.rowEnd <= fine.height(),
+               "bad row range");
+    vip_assert(fine.width() % 2 == 0,
+               "copy kernel needs an even fine width");
+    const unsigned lw = L * 2;
+
+    // Registers: per-direction pointer sets.
+    constexpr unsigned RINROW0 = 20; // 20..23: coarse row bases
+    constexpr unsigned ROUTROW0 = 24;// 24..27: fine row bases
+    constexpr unsigned RIN0 = 30;    // 30..33: coarse walk pointers
+    constexpr unsigned ROUT0 = 34;   // 34..37: fine walk pointers
+    constexpr unsigned RX = 40, RXEND = 41, RY = 42, RYEND = 43;
+    constexpr unsigned RT2 = 16;
+
+    AsmBuilder b;
+    b.movImm(RZ, 0);
+    b.movImm(RVL, L);
+    b.setVl(RVL);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        b.movImm(RINROW0 + d,
+                 static_cast<std::int64_t>(coarse.msgAddr(
+                     static_cast<MsgDir>(d), 0, job.rowBegin / 2)));
+        b.movImm(ROUTROW0 + d,
+                 static_cast<std::int64_t>(fine.msgAddr(
+                     static_cast<MsgDir>(d), 0, job.rowBegin)));
+    }
+    b.movImm(RY, job.rowBegin);
+    b.movImm(RYEND, job.rowEnd);
+    b.movImm(RXEND, fine.width() / 2);
+
+    const auto row_top = b.newLabel();
+    b.bind(row_top);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        b.mov(RIN0 + d, RINROW0 + d);
+        b.mov(ROUT0 + d, ROUTROW0 + d);
+    }
+    b.movImm(RX, 0);
+
+    // Double-buffered: parent X's loads fly while parent X-1's fan-out
+    // stores drain, so the load latency never serializes the stream.
+    // Slot for (direction d, parity p) sits at (2d + p) * slot bytes.
+    const unsigned slot_bytes = (lw + 31) & ~31u;
+    constexpr unsigned RPAR = 17;   // parity offset (p * slot_bytes)
+    constexpr unsigned RNPAR = 18;  // (1-p) * slot_bytes
+
+    const auto x_loop = b.newLabel();
+    b.bind(x_loop);
+    b.scalarImm(ScalarOp::And, RT2, RX, 1);
+    emitParityOffsets(b, RT2, slot_bytes, RPAR, RNPAR, RT);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        // Load parent X into this parity's slot.
+        b.addImm(RT, RPAR, 2 * d * slot_bytes);
+        b.ldSram(RT, RIN0 + d, RVL);
+        b.addImm(RIN0 + d, RIN0 + d,
+                 static_cast<std::int64_t>(coarse.colStrideBytes()));
+    }
+    const auto no_store = b.newLabel();
+    b.branch(BranchCond::Eq, RX, RZ, no_store);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        // Fan parent X-1 out to its two fine columns.
+        b.addImm(RT, RNPAR, 2 * d * slot_bytes);
+        b.stSram(RT, ROUT0 + d, RVL);
+        b.addImm(RT2, ROUT0 + d,
+                 static_cast<std::int64_t>(fine.colStrideBytes()));
+        b.stSram(RT, RT2, RVL);
+        b.addImm(ROUT0 + d, ROUT0 + d,
+                 2ll * static_cast<std::int64_t>(
+                           fine.colStrideBytes()));
+    }
+    b.bind(no_store);
+    b.addImm(RX, RX, 1);
+    b.branch(BranchCond::Lt, RX, RXEND, x_loop);
+
+    // Row epilogue: fan out the row's final parent, whose parity is
+    // (XEND-1) & 1 — i.e. the *other* parity of RX == XEND.
+    b.scalarImm(ScalarOp::And, RT2, RX, 1);
+    emitParityOffsets(b, RT2, slot_bytes, RPAR, RNPAR, RT);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        b.addImm(RT, RNPAR, 2 * d * slot_bytes);
+        b.stSram(RT, ROUT0 + d, RVL);
+        b.addImm(RT2, ROUT0 + d,
+                 static_cast<std::int64_t>(fine.colStrideBytes()));
+        b.stSram(RT, RT2, RVL);
+    }
+
+    // Fine rows advance every row; coarse rows every second one.
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        b.addImm(ROUTROW0 + d, ROUTROW0 + d,
+                 static_cast<std::int64_t>(fine.rowStrideBytes()));
+    }
+    const auto skip_coarse = b.newLabel();
+    b.scalarImm(ScalarOp::And, RT2, RY, 1);
+    b.branch(BranchCond::Eq, RT2, RZ, skip_coarse);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        b.addImm(RINROW0 + d, RINROW0 + d,
+                 static_cast<std::int64_t>(coarse.rowStrideBytes()));
+    }
+    b.bind(skip_coarse);
+    b.addImm(RY, RY, 1);
+    b.branch(BranchCond::Lt, RY, RYEND, row_top);
+
+    b.memfence();
+    b.halt();
+    return b.finish();
+}
+
+} // namespace vip

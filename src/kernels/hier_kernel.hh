@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Kernels for hierarchical BP-M's construct and copy phases
+ * (Sec. VI-A): construct pools 2x2 neighborhoods of data-cost vectors
+ * into the quarter-resolution MRF by saturating vector addition ("the
+ * construct operation simply adds four vectors"); copy seeds every
+ * fine-grid message with its coarse parent's, a pure fan-out of
+ * vector stores. Both are bandwidth-bound streaming kernels — their
+ * roofline placement in Fig. 3a is the paper's own observation.
+ */
+
+#ifndef VIP_KERNELS_HIER_KERNEL_HH
+#define VIP_KERNELS_HIER_KERNEL_HH
+
+#include <vector>
+
+#include "isa/isa.hh"
+#include "kernels/layout.hh"
+
+namespace vip {
+
+/** One PE's slice of the construct phase. */
+struct ConstructJob
+{
+    const MrfDramLayout *fine = nullptr;
+    const MrfDramLayout *coarse = nullptr;
+    unsigned rowBegin = 0;  ///< coarse rows [rowBegin, rowEnd)
+    unsigned rowEnd = 0;
+};
+
+/** Generate the construct program (ends in halt).
+ *  @pre the fine grid's dimensions are even. */
+std::vector<Instruction> genConstruct(const ConstructJob &job);
+
+/** One PE's slice of the copy (message upsampling) phase. */
+struct CopyJob
+{
+    const MrfDramLayout *coarse = nullptr;
+    const MrfDramLayout *fine = nullptr;
+    unsigned rowBegin = 0;  ///< fine rows [rowBegin, rowEnd)
+    unsigned rowEnd = 0;
+};
+
+/** Generate the copy program (ends in halt). */
+std::vector<Instruction> genCopyMessages(const CopyJob &job);
+
+} // namespace vip
+
+#endif // VIP_KERNELS_HIER_KERNEL_HH

@@ -1,0 +1,152 @@
+#include "kernels/layout.hh"
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+MrfDramLayout::MrfDramLayout(Addr base, unsigned width, unsigned height,
+                             unsigned labels)
+    : base_(base), width_(width), height_(height), labels_(labels),
+      paddedW_(width + 2 * kPad), paddedH_(height + 2 * kPad)
+{
+    const std::uint64_t field =
+        static_cast<std::uint64_t>(paddedW_) * paddedH_ * labels_ * 2;
+    smooth_ = base_ + 5 * field;
+    end_ = smooth_ + static_cast<std::uint64_t>(labels_) * labels_ * 2;
+}
+
+Addr
+MrfDramLayout::fieldBase(unsigned field) const
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(paddedW_) * paddedH_ * labels_ * 2;
+    return base_ + field * bytes;
+}
+
+Addr
+MrfDramLayout::dataAddr(unsigned x, unsigned y) const
+{
+    return fieldBase(0) +
+           (static_cast<std::uint64_t>(y + kPad) * paddedW_ + (x + kPad)) *
+               labels_ * 2;
+}
+
+Addr
+MrfDramLayout::msgAddr(MsgDir d, unsigned x, unsigned y) const
+{
+    return fieldBase(1 + static_cast<unsigned>(d)) +
+           (static_cast<std::uint64_t>(y + kPad) * paddedW_ + (x + kPad)) *
+               labels_ * 2;
+}
+
+void
+MrfDramLayout::upload(const MrfProblem &problem, DramStorage &dram) const
+{
+    vip_assert(problem.width == width_ && problem.height == height_ &&
+                   problem.labels == labels_,
+               "MRF does not match layout");
+    for (unsigned y = 0; y < height_; ++y) {
+        for (unsigned x = 0; x < width_; ++x) {
+            dram.write(dataAddr(x, y), problem.dataAt(x, y),
+                       labels_ * 2);
+        }
+    }
+    dram.write(smooth_, problem.smoothCost.data(),
+               problem.smoothCost.size() * 2);
+}
+
+void
+MrfDramLayout::uploadMessages(const BpState &bp, DramStorage &dram) const
+{
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        for (unsigned y = 0; y < height_; ++y) {
+            for (unsigned x = 0; x < width_; ++x) {
+                dram.write(msgAddr(static_cast<MsgDir>(d), x, y),
+                           bp.msgAt(static_cast<MsgDir>(d), x, y),
+                           labels_ * 2);
+            }
+        }
+    }
+}
+
+void
+MrfDramLayout::downloadMessages(BpState &bp, DramStorage &dram) const
+{
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        for (unsigned y = 0; y < height_; ++y) {
+            for (unsigned x = 0; x < width_; ++x) {
+                dram.read(msgAddr(static_cast<MsgDir>(d), x, y),
+                          bp.msgAt(static_cast<MsgDir>(d), x, y),
+                          labels_ * 2);
+            }
+        }
+    }
+}
+
+FmapDramLayout::FmapDramLayout(Addr base, unsigned channels,
+                               unsigned height, unsigned width,
+                               unsigned halo, bool col_major)
+    : base_(base), channels_(channels), height_(height), width_(width),
+      halo_(halo), paddedW_(width + 2 * halo),
+      paddedH_(height + 2 * halo), colMajor_(col_major)
+{
+}
+
+Addr
+FmapDramLayout::at(unsigned x, unsigned y, unsigned c) const
+{
+    return atSigned(static_cast<int>(x), static_cast<int>(y), c);
+}
+
+Addr
+FmapDramLayout::atSigned(int x, int y, unsigned c) const
+{
+    const int px = x + static_cast<int>(halo_);
+    const int py = y + static_cast<int>(halo_);
+    vip_assert(px >= 0 && py >= 0, "coordinate outside the halo");
+    const std::uint64_t pixel =
+        colMajor_ ? static_cast<std::uint64_t>(px) * paddedH_ +
+                        static_cast<std::uint64_t>(py)
+                  : static_cast<std::uint64_t>(py) * paddedW_ +
+                        static_cast<std::uint64_t>(px);
+    return base_ + (pixel * channels_ + c) * 2;
+}
+
+std::uint64_t
+FmapDramLayout::footprintBytes() const
+{
+    return static_cast<std::uint64_t>(paddedW_) * paddedH_ * channels_ * 2;
+}
+
+void
+FmapDramLayout::upload(const FeatureMap &fmap, DramStorage &dram) const
+{
+    vip_assert(fmap.channels == channels_ && fmap.height == height_ &&
+                   fmap.width == width_,
+               "feature map does not match layout");
+    std::vector<Fx16> pixel(channels_);
+    for (unsigned y = 0; y < height_; ++y) {
+        for (unsigned x = 0; x < width_; ++x) {
+            for (unsigned c = 0; c < channels_; ++c)
+                pixel[c] = fmap.at(c, y, x);
+            dram.write(at(x, y), pixel.data(), channels_ * 2);
+        }
+    }
+}
+
+FeatureMap
+FmapDramLayout::download(DramStorage &dram) const
+{
+    FeatureMap fmap(channels_, height_, width_);
+    std::vector<Fx16> pixel(channels_);
+    for (unsigned y = 0; y < height_; ++y) {
+        for (unsigned x = 0; x < width_; ++x) {
+            dram.read(at(x, y), pixel.data(), channels_ * 2);
+            for (unsigned c = 0; c < channels_; ++c)
+                fmap.at(c, y, x) = pixel[c];
+        }
+    }
+    return fmap;
+}
+
+} // namespace vip

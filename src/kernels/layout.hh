@@ -1,0 +1,139 @@
+/**
+ * @file
+ * DRAM data layouts shared between the host side (which stages inputs
+ * and retrieves results through DramStorage) and the kernel generators
+ * (which bake the same addresses into VIP programs).
+ *
+ * BP arrays are padded by the software-pipelining prefetch depth on
+ * all four sides so that the kernels' unguarded prefetches past a
+ * sweep's end read (and never write) harmless padding instead of
+ * faulting — the host allocates the pad, exactly as the paper's
+ * hand-written assembly relies on its own allocation discipline.
+ */
+
+#ifndef VIP_KERNELS_LAYOUT_HH
+#define VIP_KERNELS_LAYOUT_HH
+
+#include "mem/storage.hh"
+#include "sim/types.hh"
+#include "workloads/mrf.hh"
+#include "workloads/nn.hh"
+
+namespace vip {
+
+/** Placement of one MRF (data costs, four message fields, smoothness). */
+class MrfDramLayout
+{
+  public:
+    static constexpr unsigned kPad = 4;  ///< prefetch-depth padding
+
+    MrfDramLayout(Addr base, unsigned width, unsigned height,
+                  unsigned labels);
+
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+    unsigned labels() const { return labels_; }
+
+    Addr dataAddr(unsigned x, unsigned y) const;
+    Addr msgAddr(MsgDir d, unsigned x, unsigned y) const;
+    Addr smoothAddr() const { return smooth_; }
+
+    /** Bytes between vertically adjacent pixels' vectors. */
+    std::uint64_t rowStrideBytes() const
+    {
+        return static_cast<std::uint64_t>(paddedW_) * labels_ * 2;
+    }
+
+    /** Bytes between horizontally adjacent pixels' vectors. */
+    std::uint64_t colStrideBytes() const { return labels_ * 2ull; }
+
+    std::uint64_t footprintBytes() const { return end_ - base_; }
+    Addr end() const { return end_; }
+
+    /** Stage data costs and the smoothness matrix. */
+    void upload(const MrfProblem &problem, DramStorage &dram) const;
+
+    /** Stage all four message fields from a BpState. */
+    void uploadMessages(const BpState &bp, DramStorage &dram) const;
+
+    /** Read all four message fields back into a BpState. */
+    void downloadMessages(BpState &bp, DramStorage &dram) const;
+
+  private:
+    Addr fieldBase(unsigned field) const;  ///< 0 = data, 1..4 = messages
+
+    Addr base_;
+    unsigned width_, height_, labels_;
+    unsigned paddedW_, paddedH_;
+    Addr smooth_;
+    Addr end_;
+};
+
+/**
+ * Placement of one CNN feature map in a channel-last layout, padded
+ * spatially by the convolution halo so the kernel's valid-mode walk
+ * implements same-padding.
+ *
+ * Two orders are supported: row-major [y][x][c] and column-major
+ * [x][y][c]. The conv kernel wants column-major inputs — a 1 x k x z
+ * window column is then a single contiguous DRAM transfer, the
+ * "right location" data placement the paper's hand-written code
+ * arranges between layers (Sec. IV-B).
+ */
+class FmapDramLayout
+{
+  public:
+    FmapDramLayout(Addr base, unsigned channels, unsigned height,
+                   unsigned width, unsigned halo,
+                   bool col_major = false);
+
+    Addr at(unsigned x, unsigned y, unsigned c = 0) const;
+
+    /** Like at(), but allows coordinates inside the halo (>= -halo). */
+    Addr atSigned(int x, int y, unsigned c = 0) const;
+
+    unsigned channels() const { return channels_; }
+    unsigned height() const { return height_; }
+    unsigned width() const { return width_; }
+    unsigned halo() const { return halo_; }
+
+    /** Bytes between (x, y) and (x, y + 1). */
+    std::uint64_t
+    rowStrideBytes() const
+    {
+        return colMajor_ ? channels_ * 2ull
+                         : static_cast<std::uint64_t>(paddedW_) *
+                               channels_ * 2;
+    }
+
+    /** Bytes between (x, y) and (x + 1, y). */
+    std::uint64_t
+    colStrideBytes() const
+    {
+        return colMajor_ ? static_cast<std::uint64_t>(paddedH_) *
+                               channels_ * 2
+                         : channels_ * 2ull;
+    }
+
+    /** True when vertically adjacent pixels are contiguous. */
+    bool colMajor() const { return colMajor_; }
+
+    std::uint64_t footprintBytes() const;
+    Addr end() const { return base_ + footprintBytes(); }
+
+    /** Stage a channel-major FeatureMap (converting layout). */
+    void upload(const FeatureMap &fmap, DramStorage &dram) const;
+
+    /** Read back into a channel-major FeatureMap. */
+    FeatureMap download(DramStorage &dram) const;
+
+  private:
+    Addr base_;
+    unsigned channels_, height_, width_, halo_;
+    unsigned paddedW_, paddedH_;
+    bool colMajor_;
+};
+
+} // namespace vip
+
+#endif // VIP_KERNELS_LAYOUT_HH

@@ -1,0 +1,139 @@
+#include "kernels/pool_kernel.hh"
+
+#include "isa/builder.hh"
+#include "pe/scratchpad.hh"
+#include "sim/logging.hh"
+
+namespace vip {
+
+namespace {
+
+constexpr unsigned RZ = 1;
+constexpr unsigned RVL = 2;       // chunk
+constexpr unsigned RP00 = 4;      // sp addrs of the four input vectors
+constexpr unsigned RP01 = 5;
+constexpr unsigned RP10 = 6;
+constexpr unsigned RP11 = 7;
+constexpr unsigned RRES = 8;      // result vector sp addr
+constexpr unsigned RT = 15;
+constexpr unsigned RX = 20;
+constexpr unsigned RXEND = 21;
+constexpr unsigned RY = 22;
+constexpr unsigned RYEND = 23;
+constexpr unsigned RC = 24;       // chunk counter
+constexpr unsigned RCEND = 25;
+constexpr unsigned RIN0 = 26;     // input pointers: row 2Y and 2Y+1
+constexpr unsigned RIN1 = 27;
+constexpr unsigned ROUT = 28;
+constexpr unsigned RCOLS = 29;    // input column stride
+constexpr unsigned RSTEP2 = 30;   // 2 * input column stride
+constexpr unsigned ROSTEP = 31;   // output column stride
+constexpr unsigned RROWB0 = 32;   // per-row bases
+constexpr unsigned RROWB1 = 33;
+constexpr unsigned RROWBO = 34;
+constexpr unsigned RINADV = 35;   // 2 * input row stride
+constexpr unsigned ROUTADV = 36;
+constexpr unsigned RCHB = 37;     // chunk bytes
+
+} // namespace
+
+std::vector<Instruction>
+genPool(const PoolJob &job)
+{
+    vip_assert(job.in && job.out, "job needs layouts");
+    const unsigned C = job.in->channels();
+    const unsigned chunk = job.chunk;
+    vip_assert(chunk > 0 && C % chunk == 0,
+               "chunk must divide the channel count");
+    const unsigned chunk_bytes = chunk * 2;
+    vip_assert(5 * chunk_bytes <= Scratchpad::kBytes,
+               "pool chunk too large");
+    vip_assert(job.out->channels() == C, "channel mismatch");
+
+    const SpAddr sp_p00 = 0;
+    const SpAddr sp_p01 = sp_p00 + chunk_bytes;
+    const SpAddr sp_p10 = sp_p01 + chunk_bytes;
+    const SpAddr sp_p11 = sp_p10 + chunk_bytes;
+    const SpAddr sp_res = sp_p11 + chunk_bytes;
+
+    AsmBuilder b;
+    b.movImm(RZ, 0);
+    b.movImm(RVL, chunk);
+    b.setVl(RVL);
+    b.movImm(RP00, sp_p00);
+    b.movImm(RP01, sp_p01);
+    b.movImm(RP10, sp_p10);
+    b.movImm(RP11, sp_p11);
+    b.movImm(RRES, sp_res);
+    b.movImm(RCOLS, static_cast<std::int64_t>(job.in->colStrideBytes()));
+    b.movImm(RSTEP2,
+             2 * static_cast<std::int64_t>(job.in->colStrideBytes()));
+    b.movImm(ROSTEP, static_cast<std::int64_t>(job.out->colStrideBytes()));
+    b.movImm(RINADV,
+             2 * static_cast<std::int64_t>(job.in->rowStrideBytes()));
+    b.movImm(ROUTADV,
+             static_cast<std::int64_t>(job.out->rowStrideBytes()));
+    b.movImm(RCHB, chunk_bytes);
+    b.movImm(RROWB0, static_cast<std::int64_t>(
+                         job.in->at(0, 2 * job.rowBegin)));
+    b.movImm(RROWB1, static_cast<std::int64_t>(
+                         job.in->at(0, 2 * job.rowBegin + 1)));
+    b.movImm(RROWBO, static_cast<std::int64_t>(
+                         job.out->at(0, job.rowBegin)));
+    b.movImm(RY, job.rowBegin);
+    b.movImm(RYEND, job.rowEnd);
+    b.movImm(RXEND, job.width);
+    b.movImm(RCEND, C / chunk);
+
+    const auto row_top = b.newLabel();
+    b.bind(row_top);
+    b.mov(RIN0, RROWB0);
+    b.mov(RIN1, RROWB1);
+    b.mov(ROUT, RROWBO);
+    b.movImm(RX, 0);
+
+    const auto x_loop = b.newLabel();
+    b.bind(x_loop);
+    b.movImm(RC, 0);
+
+    const auto c_loop = b.newLabel();
+    b.bind(c_loop);
+    // Four loads issue together; the LSQ keeps them all in flight.
+    b.ldSram(RP00, RIN0, RVL);
+    b.scalar(ScalarOp::Add, RT, RIN0, RCOLS);
+    b.ldSram(RP01, RT, RVL);
+    b.ldSram(RP10, RIN1, RVL);
+    b.scalar(ScalarOp::Add, RT, RIN1, RCOLS);
+    b.ldSram(RP11, RT, RVL);
+    // Element-wise maxima; ARC holds each until its data lands.
+    b.vv(VecOp::Max, RRES, RP00, RP01);
+    b.vv(VecOp::Max, RRES, RRES, RP10);
+    b.vv(VecOp::Max, RRES, RRES, RP11);
+    b.vdrain();
+    b.stSram(RRES, ROUT, RVL);
+    // Next channel chunk.
+    b.scalar(ScalarOp::Add, RIN0, RIN0, RCHB);
+    b.scalar(ScalarOp::Add, RIN1, RIN1, RCHB);
+    b.scalar(ScalarOp::Add, ROUT, ROUT, RCHB);
+    b.addImm(RC, RC, 1);
+    b.branch(BranchCond::Lt, RC, RCEND, c_loop);
+
+    // Next output pixel: the chunk loop advanced one full pixel of
+    // channels; add the remaining column step.
+    b.scalar(ScalarOp::Add, RIN0, RIN0, RCOLS);
+    b.scalar(ScalarOp::Add, RIN1, RIN1, RCOLS);
+    b.addImm(RX, RX, 1);
+    b.branch(BranchCond::Lt, RX, RXEND, x_loop);
+
+    b.scalar(ScalarOp::Add, RROWB0, RROWB0, RINADV);
+    b.scalar(ScalarOp::Add, RROWB1, RROWB1, RINADV);
+    b.scalar(ScalarOp::Add, RROWBO, RROWBO, ROUTADV);
+    b.addImm(RY, RY, 1);
+    b.branch(BranchCond::Lt, RY, RYEND, row_top);
+
+    b.memfence();
+    b.halt();
+    return b.finish();
+}
+
+} // namespace vip

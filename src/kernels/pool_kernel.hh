@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Max-pooling kernel generator (2x2, stride 2 — every VGG pool).
+ *
+ * With the channel-last layout, a pooled output pixel is the
+ * element-wise v.v.max of four input pixel vectors. Channels are
+ * chunked so four input vectors plus the result fit the scratchpad;
+ * the next pixel's loads are issued before the current maxes so the
+ * (memory-bound, per the paper's roofline) kernel keeps requests in
+ * flight.
+ */
+
+#ifndef VIP_KERNELS_POOL_KERNEL_HH
+#define VIP_KERNELS_POOL_KERNEL_HH
+
+#include <vector>
+
+#include "isa/isa.hh"
+#include "kernels/layout.hh"
+
+namespace vip {
+
+struct PoolJob
+{
+    const FmapDramLayout *in = nullptr;
+    const FmapDramLayout *out = nullptr;
+    unsigned rowBegin = 0;    ///< output rows [rowBegin, rowEnd)
+    unsigned rowEnd = 0;
+    unsigned width = 0;       ///< output row width
+    unsigned chunk = 0;       ///< channels per vector chunk
+};
+
+std::vector<Instruction> genPool(const PoolJob &job);
+
+} // namespace vip
+
+#endif // VIP_KERNELS_POOL_KERNEL_HH

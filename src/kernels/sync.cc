@@ -1,0 +1,64 @@
+#include "kernels/sync.hh"
+
+namespace vip {
+
+void
+emitBarrier(AsmBuilder &b, Addr flag_base, unsigned pe_index,
+            unsigned num_pes, const SyncRegs &regs)
+{
+    if (num_pes <= 1)
+        return;
+
+    // Arrive: bump the generation and publish it after a fence so all
+    // of this PE's prior stores are visible to whoever sees the flag.
+    b.addImm(regs.gen, regs.gen, 1);
+    b.memfence();
+    b.movImm(regs.addr, static_cast<std::int64_t>(flag_base + pe_index * 8));
+    b.stReg(regs.gen, regs.addr, ElemWidth::W64);
+
+    if (pe_index == 0) {
+        // Leader: wait for every arrival, then publish the release.
+        for (unsigned j = 1; j < num_pes; ++j) {
+            b.movImm(regs.addr,
+                     static_cast<std::int64_t>(flag_base + j * 8));
+            const auto spin = b.newLabel();
+            b.bind(spin);
+            b.ldReg(regs.val, regs.addr, ElemWidth::W64);
+            b.branch(BranchCond::Lt, regs.val, regs.gen, spin);
+        }
+        b.movImm(regs.addr,
+                 static_cast<std::int64_t>(flag_base + num_pes * 8));
+        b.stReg(regs.gen, regs.addr, ElemWidth::W64);
+    } else {
+        b.movImm(regs.addr,
+                 static_cast<std::int64_t>(flag_base + num_pes * 8));
+        const auto spin = b.newLabel();
+        b.bind(spin);
+        b.ldReg(regs.val, regs.addr, ElemWidth::W64);
+        b.branch(BranchCond::Lt, regs.val, regs.gen, spin);
+    }
+}
+
+void
+emitSignal(AsmBuilder &b, Addr flag_addr, std::int64_t value,
+           const SyncRegs &regs)
+{
+    b.memfence();
+    b.movImm(regs.addr, static_cast<std::int64_t>(flag_addr));
+    b.movImm(regs.val, value);
+    b.stReg(regs.val, regs.addr, ElemWidth::W64);
+}
+
+void
+emitWaitGe(AsmBuilder &b, Addr flag_addr, std::int64_t value,
+           const SyncRegs &regs)
+{
+    b.movImm(regs.addr, static_cast<std::int64_t>(flag_addr));
+    b.movImm(regs.gen, value);
+    const auto spin = b.newLabel();
+    b.bind(spin);
+    b.ldReg(regs.val, regs.addr, ElemWidth::W64);
+    b.branch(BranchCond::Lt, regs.val, regs.gen, spin);
+}
+
+} // namespace vip

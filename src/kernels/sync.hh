@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Software synchronization emitters (Sec. IV-A).
+ *
+ * The VIP ISA has no atomics; the paper synchronizes PEs through
+ * full/empty flag variables in DRAM (producer-consumer at tile
+ * boundaries) and a barrier built from them (end of each message-update
+ * direction). We emit the same idiom: each PE owns a private arrival
+ * word (no write contention), a leader observes all arrivals and
+ * publishes a release word, and generation counters make the barrier
+ * reusable without re-zeroing.
+ */
+
+#ifndef VIP_KERNELS_SYNC_HH
+#define VIP_KERNELS_SYNC_HH
+
+#include "isa/builder.hh"
+#include "sim/types.hh"
+
+namespace vip {
+
+/** Scratch registers the sync emitters may clobber. */
+struct SyncRegs
+{
+    unsigned gen;   ///< generation counter; init to 0 once per program
+    unsigned addr;  ///< address temporary
+    unsigned val;   ///< value temporary
+};
+
+/**
+ * Barrier across @p num_pes participants. Flag layout at @p flag_base:
+ * words 0..num_pes-1 are arrival flags, word num_pes is the release
+ * flag. Emits nothing when num_pes == 1.
+ */
+void emitBarrier(AsmBuilder &b, Addr flag_base, unsigned pe_index,
+                 unsigned num_pes, const SyncRegs &regs);
+
+/** Producer side of a full/empty variable: fence, then publish @p value. */
+void emitSignal(AsmBuilder &b, Addr flag_addr, std::int64_t value,
+                const SyncRegs &regs);
+
+/** Consumer side: spin until the flag is >= @p value. */
+void emitWaitGe(AsmBuilder &b, Addr flag_addr, std::int64_t value,
+                const SyncRegs &regs);
+
+} // namespace vip
+
+#endif // VIP_KERNELS_SYNC_HH

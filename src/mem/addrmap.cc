@@ -1,0 +1,64 @@
+#include "mem/addrmap.hh"
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+DramCoord
+AddressMapper::decode(Addr addr) const
+{
+    vip_assert(addr < geom_.capacity(), "address 0x", std::hex, addr,
+               " beyond DRAM capacity");
+
+    DramCoord c{};
+    c.offset = static_cast<unsigned>(addr % geom_.colBytes);
+    Addr rest = addr / geom_.colBytes;
+
+    if (map_ == AddrMap::VaultRowBankCol) {
+        // addr = ((vault * rows + row) * banks + bank) * cols + col
+        c.col = static_cast<unsigned>(rest % geom_.colsPerRow());
+        rest /= geom_.colsPerRow();
+        c.bank = static_cast<unsigned>(rest % geom_.banksPerVault);
+        rest /= geom_.banksPerVault;
+        c.row = rest % geom_.rowsPerBank;
+        rest /= geom_.rowsPerBank;
+        c.vault = static_cast<unsigned>(rest);
+    } else {
+        // addr = ((row * banks + bank) * cols + col) * vaults + vault
+        c.vault = static_cast<unsigned>(rest % geom_.vaults);
+        rest /= geom_.vaults;
+        c.col = static_cast<unsigned>(rest % geom_.colsPerRow());
+        rest /= geom_.colsPerRow();
+        c.bank = static_cast<unsigned>(rest % geom_.banksPerVault);
+        rest /= geom_.banksPerVault;
+        c.row = rest;
+    }
+    return c;
+}
+
+Addr
+AddressMapper::encode(const DramCoord &c) const
+{
+    Addr rest;
+    if (map_ == AddrMap::VaultRowBankCol) {
+        rest = c.vault;
+        rest = rest * geom_.rowsPerBank + c.row;
+        rest = rest * geom_.banksPerVault + c.bank;
+        rest = rest * geom_.colsPerRow() + c.col;
+    } else {
+        rest = c.row;
+        rest = rest * geom_.banksPerVault + c.bank;
+        rest = rest * geom_.colsPerRow() + c.col;
+        rest = rest * geom_.vaults + c.vault;
+    }
+    return rest * geom_.colBytes + c.offset;
+}
+
+Addr
+AddressMapper::vaultBase(unsigned vault) const
+{
+    vip_assert(vault < geom_.vaults, "vault ", vault, " out of range");
+    return encode({vault, 0, 0, 0, 0});
+}
+
+} // namespace vip

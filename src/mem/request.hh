@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Memory request descriptor exchanged between PEs, NoC, and vaults.
+ */
+
+#ifndef VIP_MEM_REQUEST_HH
+#define VIP_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace vip {
+
+/**
+ * One memory transaction. Requests larger than a DRAM column are split
+ * by the vault controller into multiple column accesses internally; a
+ * request completes when its last column access has been serviced.
+ */
+struct MemRequest
+{
+    Addr addr = 0;
+    unsigned bytes = 0;
+    bool isWrite = false;
+
+    /** Issuing PE's global id, for response routing and stats. */
+    unsigned sourcePe = 0;
+
+    /** Invoked (once) at the cycle the request fully completes. */
+    std::function<void(MemRequest &)> onComplete;
+
+    /** Unique id assigned by the issuer; carried through for debugging. */
+    std::uint64_t id = 0;
+
+    /** Simulation bookkeeping. */
+    Cycles issuedAt = 0;
+    Cycles completedAt = 0;
+};
+
+} // namespace vip
+
+#endif // VIP_MEM_REQUEST_HH

@@ -1,0 +1,57 @@
+#include "mem/storage.hh"
+
+#include <algorithm>
+
+namespace vip {
+
+const std::uint8_t *
+DramStorage::pageFor(Addr addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t *
+DramStorage::pageForWrite(Addr addr)
+{
+    auto &slot = pages_[addr / kPageBytes];
+    if (!slot) {
+        slot = std::make_unique<std::uint8_t[]>(kPageBytes);
+        std::memset(slot.get(), 0, kPageBytes);
+    }
+    return slot.get();
+}
+
+void
+DramStorage::read(Addr addr, void *dst, std::size_t bytes) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (bytes > 0) {
+        const std::size_t off = addr % kPageBytes;
+        const std::size_t chunk = std::min(bytes, kPageBytes - off);
+        const std::uint8_t *page = pageFor(addr);
+        if (page)
+            std::memcpy(out, page + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        out += chunk;
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+DramStorage::write(Addr addr, const void *src, std::size_t bytes)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (bytes > 0) {
+        const std::size_t off = addr % kPageBytes;
+        const std::size_t chunk = std::min(bytes, kPageBytes - off);
+        std::memcpy(pageForWrite(addr) + off, in, chunk);
+        in += chunk;
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+} // namespace vip

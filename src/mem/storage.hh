@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse functional backing store for the 8 GiB HMC DRAM.
+ *
+ * Timing (vault controllers) and function (this store) are separated, as
+ * in DRAMSim2-style simulators: data moves when the corresponding column
+ * access is serviced. Pages are allocated on first touch and zero-filled
+ * so untouched DRAM reads as zero.
+ */
+
+#ifndef VIP_MEM_STORAGE_HH
+#define VIP_MEM_STORAGE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vip {
+
+class DramStorage
+{
+  public:
+    static constexpr std::size_t kPageBytes = 4096;
+
+    void read(Addr addr, void *dst, std::size_t bytes) const;
+    void write(Addr addr, const void *src, std::size_t bytes);
+
+    /** Typed helpers for test and workload convenience. */
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Addr addr, T v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Number of pages touched so far (footprint proxy). */
+    std::size_t touchedPages() const { return pages_.size(); }
+
+  private:
+    const std::uint8_t *pageFor(Addr addr) const;
+    std::uint8_t *pageForWrite(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> pages_;
+};
+
+} // namespace vip
+
+#endif // VIP_MEM_STORAGE_HH

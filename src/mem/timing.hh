@@ -1,0 +1,126 @@
+/**
+ * @file
+ * DRAM timing and geometry parameters for the HMC-like memory system.
+ *
+ * Defaults reproduce Table III of the paper (Kim et al. HMC timings with
+ * the paper's modifications: open-page policy, vault-high address
+ * mapping, refresh-4x). All values are stored in 1.25 GHz clock cycles
+ * (tCK = 0.8 ns), rounded up from the nanosecond figures.
+ */
+
+#ifndef VIP_MEM_TIMING_HH
+#define VIP_MEM_TIMING_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace vip {
+
+/** Row-buffer management policy (Sec. III-C / Fig. 5). */
+enum class PagePolicy { Open, Closed };
+
+/** Vault-index placement within the physical address (Sec. III-C). */
+enum class AddrMap
+{
+    /** Paper's choice: vault in the MSBs => PE-local data stays local. */
+    VaultRowBankCol,
+    /** Default HMC scheme: vault in the LSBs (maximal interleave). */
+    RowBankColVault,
+};
+
+/** DRAM timing constraints, in system clock cycles. */
+struct DramTiming
+{
+    Cycles tCL = nsToCycles(13.75);   ///< CAS latency
+    Cycles tRCD = nsToCycles(13.75);  ///< ACT to RD/WR
+    Cycles tRP = nsToCycles(13.75);   ///< PRE to ACT
+    Cycles tRAS = nsToCycles(27.5);   ///< ACT to PRE
+    Cycles tWR = nsToCycles(15.0);    ///< write recovery before PRE
+    Cycles tCCD = nsToCycles(5.0);    ///< column-to-column delay
+    Cycles tRFC = nsToCycles(81.5);   ///< refresh cycle time
+    Cycles tREFI = nsToCycles(1950.0); ///< refresh interval (4x mode)
+    Cycles tBurst = 4;                ///< data-bus beats per column access
+
+    /**
+     * Move from the default refresh-4x mode toward 2x (factor 2) or
+     * 1x (factor 4), per Fig. 5. tREFI scales linearly; tRFC follows
+     * the JEDEC DDR4 fine-granularity ratios (tRFC1 : tRFC2 : tRFC4
+     * ~= 2.2 : 1.6 : 1 for an 8 Gb device), so the rarer refreshes of
+     * the 1x mode block the banks for much longer bursts.
+     */
+    void
+    scaleRefresh(unsigned factor)
+    {
+        tREFI *= factor;
+        if (factor == 2)
+            tRFC = tRFC * 13 / 8;   // ~1.625x
+        else if (factor >= 4)
+            tRFC = tRFC * 11 / 5;   // ~2.2x
+    }
+};
+
+/** DRAM organization. Defaults: 32 vaults x 16 banks x 64 Ki rows x 256 B. */
+struct DramGeometry
+{
+    unsigned vaults = 32;
+    unsigned banksPerVault = 16;
+    std::uint64_t rowsPerBank = 65536;
+    unsigned rowBytes = 256;
+    unsigned colBytes = 32;
+
+    std::uint64_t
+    bytesPerVault() const
+    {
+        return static_cast<std::uint64_t>(banksPerVault) * rowsPerBank *
+               rowBytes;
+    }
+
+    std::uint64_t capacity() const { return bytesPerVault() * vaults; }
+
+    unsigned colsPerRow() const { return rowBytes / colBytes; }
+
+    /**
+     * Scale the number of banks ("ranks" in the paper: one bank per
+     * rank) by 4x up or down, holding capacity constant (Fig. 5).
+     */
+    void
+    scaleBanks(bool more)
+    {
+        if (more) {
+            banksPerVault *= 4;
+            rowsPerBank /= 4;
+        } else {
+            banksPerVault /= 4;
+            rowsPerBank *= 4;
+        }
+    }
+
+    /** Scale the row width by 4x, holding capacity constant (Fig. 5). */
+    void
+    scaleRowWidth(bool wider)
+    {
+        if (wider) {
+            rowBytes *= 4;
+            rowsPerBank /= 4;
+        } else {
+            rowBytes /= 4;
+            rowsPerBank *= 4;
+        }
+    }
+};
+
+/** Complete memory-system configuration (Table III). */
+struct MemConfig
+{
+    DramTiming timing;
+    DramGeometry geom;
+    PagePolicy pagePolicy = PagePolicy::Open;
+    AddrMap addrMap = AddrMap::VaultRowBankCol;
+    unsigned cmdQueueDepth = 32;
+    unsigned transQueueDepth = 32;
+};
+
+} // namespace vip
+
+#endif // VIP_MEM_TIMING_HH

@@ -1,0 +1,249 @@
+#include "mem/vault.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+VaultController::VaultController(unsigned vaultId, const MemConfig &cfg,
+                                 const AddressMapper &mapper,
+                                 StatGroup *parent)
+    : vaultId_(vaultId), cfg_(cfg), mapper_(mapper),
+      banks_(cfg.geom.banksPerVault),
+      trans_(cfg.transQueueDepth),
+      nextRefreshAt_(cfg.timing.tREFI),
+      statGroup_("vault" + std::to_string(vaultId), parent),
+      stats_{Counter(&statGroup_, "read_bytes", "bytes read from DRAM"),
+             Counter(&statGroup_, "write_bytes", "bytes written to DRAM"),
+             Counter(&statGroup_, "row_hits", "column accesses to open row"),
+             Counter(&statGroup_, "row_misses",
+                     "activates with bank precharged"),
+             Counter(&statGroup_, "row_conflicts",
+                     "precharges forced by a different open row"),
+             Counter(&statGroup_, "refreshes", "refresh commands issued"),
+             Counter(&statGroup_, "col_commands", "RD/WR commands issued"),
+             Counter(&statGroup_, "req_count", "transactions completed"),
+             Counter(&statGroup_, "req_latency_total",
+                     "sum of transaction latencies (cycles)")}
+{
+}
+
+bool
+VaultController::enqueue(std::unique_ptr<MemRequest> req)
+{
+    // Find a free transaction slot.
+    std::size_t slot = trans_.size();
+    for (std::size_t i = 0; i < trans_.size(); ++i) {
+        if (!trans_[i].live) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot == trans_.size())
+        return false;
+
+    vip_assert(req->bytes > 0, "zero-length memory request");
+
+    trans_[slot].req = std::move(req);
+    trans_[slot].live = true;
+    trans_[slot].pendingColumns = 0;
+    splitIntoColumns(slot);
+    return true;
+}
+
+void
+VaultController::splitIntoColumns(std::size_t trans_index)
+{
+    Transaction &t = trans_[trans_index];
+    const MemRequest &req = *t.req;
+    const unsigned col_bytes = cfg_.geom.colBytes;
+
+    Addr addr = req.addr;
+    std::uint64_t remaining = req.bytes;
+    while (remaining > 0) {
+        DramCoord c = mapper_.decode(addr);
+        vip_assert(c.vault == vaultId_, "request for vault ", c.vault,
+                   " enqueued at vault ", vaultId_);
+        const unsigned within = col_bytes - c.offset;
+        const std::uint64_t chunk = std::min<std::uint64_t>(remaining,
+                                                            within);
+        columns_.push_back({c.bank, c.row, c.col, req.isWrite, trans_index,
+                            req.issuedAt});
+        ++t.pendingColumns;
+        addr += chunk;
+        remaining -= chunk;
+    }
+}
+
+void
+VaultController::retireCompletions(Cycles now)
+{
+    while (!completions_.empty() && completions_.top().at <= now) {
+        const auto ev = completions_.top();
+        completions_.pop();
+        finishColumn(ev.transIndex, ev.at);
+    }
+}
+
+void
+VaultController::finishColumn(std::size_t trans_index, Cycles now)
+{
+    Transaction &t = trans_[trans_index];
+    vip_assert(t.live && t.pendingColumns > 0, "stray column completion");
+    if (--t.pendingColumns == 0) {
+        std::unique_ptr<MemRequest> req = std::move(t.req);
+        t.live = false;
+        req->completedAt = now;
+        stats_.reqCount += 1;
+        stats_.totalReqLatency += now - req->issuedAt;
+        latencyHist_.sample(now - req->issuedAt);
+        if (req->isWrite)
+            stats_.writeBytes += req->bytes;
+        else
+            stats_.readBytes += req->bytes;
+        if (completionHandler_)
+            completionHandler_(std::move(req));
+        else if (req->onComplete)
+            req->onComplete(*req);
+    }
+}
+
+void
+VaultController::beginRefresh(Cycles now)
+{
+    for (auto &bank : banks_) {
+        bank.rowOpen = false;
+        bank.actAllowedAt = std::max(bank.actAllowedAt,
+                                     now + cfg_.timing.tRFC);
+    }
+    refreshUntil_ = now + cfg_.timing.tRFC;
+    nextRefreshAt_ += cfg_.timing.tREFI;
+    stats_.refreshes += 1;
+}
+
+bool
+VaultController::tryIssueColumn(std::deque<ColumnAccess>::iterator it,
+                                Cycles now)
+{
+    const ColumnAccess &ca = *it;
+    Bank &bank = banks_[ca.bank];
+    if (!bank.rowOpen || bank.openRow != ca.row)
+        return false;
+    if (now < bank.colAllowedAt || now < bank.colCmdAllowedAt ||
+        now < colIssueAllowedAt_) {
+        return false;
+    }
+
+    const DramTiming &t = cfg_.timing;
+
+    // Data occupies the shared TSVs for tBurst beats (the vault-wide
+    // constraint); tCCD paces column commands within one bank.
+    colIssueAllowedAt_ = now + t.tBurst;
+    bank.colCmdAllowedAt = now + t.tCCD;
+    stats_.colCommands += 1;
+    stats_.rowHits += 1;
+
+    const Cycles done_at = now + t.tCL + t.tBurst;
+    if (ca.isWrite) {
+        bank.preAllowedAt = std::max(bank.preAllowedAt,
+                                     done_at + t.tWR);
+    }
+    completions_.push({done_at, ca.transIndex});
+
+    if (cfg_.pagePolicy == PagePolicy::Closed) {
+        // Auto-precharge unless another queued access needs this row.
+        const bool more = std::any_of(
+            columns_.begin(), columns_.end(), [&](const ColumnAccess &o) {
+                return &o != &ca && o.bank == ca.bank && o.row == ca.row;
+            });
+        if (!more) {
+            bank.rowOpen = false;
+            bank.actAllowedAt = std::max(bank.preAllowedAt,
+                                         ca.isWrite ? done_at + t.tWR
+                                                    : done_at) +
+                                t.tRP;
+        }
+    }
+
+    columns_.erase(it);
+    return true;
+}
+
+void
+VaultController::progressOldest(Cycles now)
+{
+    if (columns_.empty())
+        return;
+
+    // Oldest-first: open the row (or close the wrong one) for the head
+    // access whose bank can accept a command this cycle.
+    for (auto it = columns_.begin(); it != columns_.end(); ++it) {
+        Bank &bank = banks_[it->bank];
+        const DramTiming &t = cfg_.timing;
+        if (bank.rowOpen && bank.openRow != it->row) {
+            if (now >= bank.preAllowedAt) {
+                bank.rowOpen = false;
+                bank.actAllowedAt = std::max(bank.actAllowedAt,
+                                             now + t.tRP);
+                stats_.rowConflicts += 1;
+                return;
+            }
+        } else if (!bank.rowOpen) {
+            if (now >= bank.actAllowedAt) {
+                bank.rowOpen = true;
+                bank.openRow = it->row;
+                bank.colAllowedAt = now + t.tRCD;
+                bank.preAllowedAt = now + t.tRAS;
+                stats_.rowMisses += 1;
+                return;
+            }
+        } else {
+            // Row already open and matching: column issue is handled by
+            // the row-hit pass; nothing to do for this access here.
+            continue;
+        }
+    }
+}
+
+void
+VaultController::tick(Cycles now)
+{
+    retireCompletions(now);
+
+    if (now < refreshUntil_)
+        return;
+    if (now >= nextRefreshAt_) {
+        beginRefresh(now);
+        return;
+    }
+
+    // First pass (FR-FCFS): issue the oldest row-hit column access.
+    for (auto it = columns_.begin(); it != columns_.end(); ++it) {
+        if (tryIssueColumn(it, now))
+            return;
+    }
+    // Second pass: make row-state progress for the oldest access.
+    progressOldest(now);
+}
+
+unsigned
+VaultController::pendingTransactions() const
+{
+    unsigned live = 0;
+    for (const auto &t : trans_) {
+        if (t.live)
+            ++live;
+    }
+    return live;
+}
+
+bool
+VaultController::idle() const
+{
+    return columns_.empty() && completions_.empty() &&
+           std::none_of(trans_.begin(), trans_.end(),
+                        [](const Transaction &t) { return t.live; });
+}
+
+} // namespace vip

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cycle-level model of one HMC vault: 16 banks sharing data TSVs, a
+ * transaction queue, a command scheduler (FR-FCFS for the open-page
+ * policy, auto-precharge for closed-page), and a refresh controller.
+ */
+
+#ifndef VIP_MEM_VAULT_HH
+#define VIP_MEM_VAULT_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "mem/addrmap.hh"
+#include "mem/request.hh"
+#include "mem/timing.hh"
+#include "sim/histogram.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vip {
+
+class VaultController
+{
+  public:
+    VaultController(unsigned vaultId, const MemConfig &cfg,
+                    const AddressMapper &mapper, StatGroup *parent);
+
+    /**
+     * Offer a transaction to this vault. Returns false (and leaves the
+     * request with the caller) when the transaction queue is full.
+     * @pre every byte of the request maps to this vault.
+     */
+    bool enqueue(std::unique_ptr<MemRequest> req);
+
+    /** Advance one clock cycle: retire data, issue at most one command. */
+    void tick(Cycles now);
+
+    /**
+     * Handler receiving ownership of completed transactions. When set
+     * (by the system, which must route a response packet back through
+     * the NoC before the issuer may observe completion), it is invoked
+     * *instead of* the request's own onComplete callback.
+     */
+    using CompletionHandler =
+        std::function<void(std::unique_ptr<MemRequest>)>;
+
+    void setCompletionHandler(CompletionHandler h)
+    {
+        completionHandler_ = std::move(h);
+    }
+
+    bool idle() const;
+
+    /** Live (incomplete) transactions currently in the queue. */
+    unsigned pendingTransactions() const;
+
+    bool canAccept() const
+    {
+        return pendingTransactions() < cfg_.transQueueDepth;
+    }
+
+    /** Statistics, public so formulas and tests can read them. */
+    struct Stats
+    {
+        Counter readBytes;
+        Counter writeBytes;
+        Counter rowHits;
+        Counter rowMisses;
+        Counter rowConflicts;
+        Counter refreshes;
+        Counter colCommands;
+        Counter reqCount;
+        Counter totalReqLatency;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** Distribution of transaction latencies (cycles). */
+    const Histogram &latencyHistogram() const { return latencyHist_; }
+
+  private:
+    /** One pending DRAM column access derived from a transaction. */
+    struct ColumnAccess
+    {
+        unsigned bank;
+        std::uint64_t row;
+        unsigned col;
+        bool isWrite;
+        std::size_t transIndex;  ///< owning transaction slot
+        Cycles arrivedAt;
+    };
+
+    /** An in-flight transaction and its split bookkeeping. */
+    struct Transaction
+    {
+        std::unique_ptr<MemRequest> req;
+        unsigned pendingColumns = 0;
+        bool live = false;
+    };
+
+    /** Per-bank timing state. */
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Cycles actAllowedAt = 0;
+        Cycles colAllowedAt = 0;     ///< tRCD after ACT
+        Cycles colCmdAllowedAt = 0;  ///< tCCD after this bank's last col
+        Cycles preAllowedAt = 0;
+    };
+
+    struct CompletionEvent
+    {
+        Cycles at;
+        std::size_t transIndex;
+
+        bool
+        operator>(const CompletionEvent &o) const
+        {
+            return at > o.at;
+        }
+    };
+
+    void splitIntoColumns(std::size_t trans_index);
+    bool tryIssueColumn(std::deque<ColumnAccess>::iterator it, Cycles now);
+    void progressOldest(Cycles now);
+    void beginRefresh(Cycles now);
+    void retireCompletions(Cycles now);
+    void finishColumn(std::size_t trans_index, Cycles now);
+
+    unsigned vaultId_;
+    MemConfig cfg_;
+    const AddressMapper &mapper_;
+
+    std::vector<Bank> banks_;
+    std::vector<Transaction> trans_;
+    std::deque<ColumnAccess> columns_;
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<>> completions_;
+
+    Cycles colIssueAllowedAt_ = 0;
+    Cycles refreshUntil_ = 0;
+    Cycles nextRefreshAt_;
+    CompletionHandler completionHandler_;
+
+    StatGroup statGroup_;
+    Stats stats_;
+    Histogram latencyHist_;
+};
+
+} // namespace vip
+
+#endif // VIP_MEM_VAULT_HH

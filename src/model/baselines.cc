@@ -1,0 +1,44 @@
+#include "model/baselines.hh"
+
+namespace vip {
+
+std::vector<ReportedSystem>
+tableIvBaselines()
+{
+    return {
+        // Markov random fields (full-HD stereo unless noted).
+        {"Optical Gibbs' Sampling", "MRF", 1100.0, 12.0, 15.0, 200.0, -1,
+         5000, true},
+        {"Tile BP (720p)", "MRF", 32.7, 0.242, 90.0, 12.0, -1, 1, true},
+        {"Pascal Titan X", "MRF", 92.2, 250.0, 16.0, 471.0, -1, 8, false},
+        // VGG-16 convolution layers only.
+        {"Eyeriss", "VGG-16 conv", 4309.0, 0.236, 65.0, 12.0, 3, -1,
+         false},
+        // VGG-16 full network.
+        {"Pascal Titan X", "VGG-16", 41.6, 250.0, 16.0, 471.0, 16, -1,
+         false},
+        // VGG-19 full network.
+        {"Volta", "VGG-19", 2.2, 144.0, 12.0, 815.0, 1, -1, false},
+        {"Jetson TX2", "VGG-19", 42.2, 10.0, 16.0, 0.0, 1, -1, false},
+    };
+}
+
+double
+eyerissScaledTimeMs(double reported_ms, double eyeriss_area_mm2,
+                    double eyeriss_tech_nm, double eyeriss_clock_ghz)
+{
+    const double area = kVipAreaMm2 / eyeriss_area_mm2;
+    const double tech = (eyeriss_tech_nm / kVipTechNm) *
+                        (eyeriss_tech_nm / kVipTechNm);
+    const double clock = kVipClockGhz / eyeriss_clock_ghz;
+    return reported_ms / area / tech / clock;
+}
+
+double
+areaRatioVsVip(double area_mm2, double tech_nm)
+{
+    const double scale = (kVipTechNm / tech_nm) * (kVipTechNm / tech_nm);
+    return area_mm2 * scale / kVipAreaMm2;
+}
+
+} // namespace vip

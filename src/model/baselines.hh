@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Published baselines and the paper's normalization arithmetic
+ * (Table IV and Sec. VI-A).
+ *
+ * The paper compares against *reported* numbers from Eyeriss, Tile-BP,
+ * Optical Gibbs' sampling, the Pascal Titan X, Volta, and Jetson TX2,
+ * normalizing for silicon area, technology node, and clock frequency
+ * where a direct comparison would be unfair. We reproduce both the
+ * constants and the normalization formulas.
+ */
+
+#ifndef VIP_MODEL_BASELINES_HH
+#define VIP_MODEL_BASELINES_HH
+
+#include <string>
+#include <vector>
+
+namespace vip {
+
+/** One published system's reported figures (Table IV row). */
+struct ReportedSystem
+{
+    std::string name;
+    std::string workload;
+    double timeMs = 0;
+    double powerW = 0;
+    double techNm = 0;
+    double areaMm2 = 0;
+    int batch = -1;        ///< -1: not applicable
+    int iterations = -1;   ///< -1: not applicable
+    bool differentAlgorithm = false;  ///< the paper's asterisk
+};
+
+/** All Table IV baseline rows, exactly as the paper reports them. */
+std::vector<ReportedSystem> tableIvBaselines();
+
+/** VIP's own constants. */
+inline constexpr double kVipTechNm = 28.0;
+inline constexpr double kVipAreaMm2 = 18.0;
+inline constexpr double kVipClockGhz = 1.25;
+inline constexpr double kVipPowerBpW = 3.5;
+inline constexpr double kVipPowerCnnW = 4.8;
+
+/**
+ * The paper's Eyeriss normalization (Sec. VI-A): divide the reported
+ * runtime by the area ratio, by the squared technology ratio, and by
+ * the clock ratio — optimistically assuming Eyeriss scales linearly.
+ * 4,309 ms becomes ~102 ms, which VIP's 91.6 ms is "less than 10%
+ * worse than".
+ */
+double eyerissScaledTimeMs(double reported_ms,
+                           double eyeriss_area_mm2 = 12.0,
+                           double eyeriss_tech_nm = 65.0,
+                           double eyeriss_clock_ghz = 0.2);
+
+/**
+ * Area of a system normalized to VIP's technology node, as a multiple
+ * of VIP's area (the paper's ~250x figure for Volta).
+ */
+double areaRatioVsVip(double area_mm2, double tech_nm);
+
+} // namespace vip
+
+#endif // VIP_MODEL_BASELINES_HH

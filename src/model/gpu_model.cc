@@ -1,0 +1,39 @@
+#include "model/gpu_model.hh"
+
+#include <algorithm>
+
+namespace vip {
+
+GpuBpEstimate
+gpuBpIteration(unsigned width, unsigned height, unsigned labels,
+               const GpuSpec &spec)
+{
+    const double L = labels;
+    const double ops_per_update = 3 * L + 2 * L * L;
+    const double bytes_per_update = 4 * L * 2;  // 16-bit messages
+
+    double total = 0;
+    double floor_steps = 0, steps_total = 0;
+
+    // Two horizontal sweeps (W steps of H updates) and two vertical
+    // ones (H steps of W updates).
+    const struct { unsigned steps, updates; } sweeps[2] = {
+        {width, height}, {height, width}};
+    for (const auto &sw : sweeps) {
+        // Throughput time for one step's worth of updates.
+        const double compute = sw.updates * ops_per_update /
+                               (spec.peakGops * 1e9);
+        const double memory = sw.updates * bytes_per_update /
+                              (spec.peakBandwidthGBs * 1e9);
+        const double throughput = std::max(compute, memory);
+        const double step = std::max(throughput, spec.stepLatencyFloor);
+        total += 2.0 * sw.steps * step;
+        steps_total += 2.0 * sw.steps;
+        if (spec.stepLatencyFloor >= throughput)
+            floor_steps += 2.0 * sw.steps;
+    }
+
+    return {total * 1e3, floor_steps / steps_total};
+}
+
+} // namespace vip

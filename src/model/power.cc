@@ -1,0 +1,53 @@
+#include "model/power.hh"
+
+namespace vip {
+
+double
+PePowerModel::peWatts(const Pe::Stats &stats, Cycles interval,
+                      double mul_fraction) const
+{
+    if (interval == 0)
+        return staticW;
+
+    const auto lane_ops =
+        static_cast<double>(stats.vectorLaneOps.value());
+    const double lane_pj =
+        lane_ops * (mul_fraction * mulLaneOpPj +
+                    (1.0 - mul_fraction) * addLaneOpPj);
+
+    // Scratchpad traffic: each lane op reads two operands and writes
+    // one result element (2 B each at 16-bit); DRAM transfers cross it
+    // once more.
+    const double dram_bytes =
+        static_cast<double>(stats.dramReadBytes.value()) +
+        static_cast<double>(stats.dramWriteBytes.value());
+    const double sp_pj =
+        (lane_ops * 6.0 + dram_bytes) * scratchpadBytePj;
+
+    const auto scalar_ops = static_cast<double>(
+        stats.instructions.value() - stats.vectorInstructions.value());
+    const double scalar_pj = scalar_ops * scalarOpPj;
+    const double dram_pj = dram_bytes * dramBytePj;
+
+    const double seconds = static_cast<double>(interval) *
+                           kSecondsPerCycle;
+    const double dynamic =
+        (lane_pj + sp_pj + scalar_pj + dram_pj) * 1e-12 / seconds;
+    return dynamic + staticW;
+}
+
+ArrayPowerSummary
+arrayPowerSummary(double bp_pe_watts, double cnn_pe_watts)
+{
+    ArrayPowerSummary s{};
+    s.peAreaMm2 = PeAreaBreakdown{}.total();
+    s.arrayAreaMm2 = 128.0 * s.peAreaMm2;
+    s.bpWatts = 128.0 * bp_pe_watts;
+    s.cnnWatts = 128.0 * cnn_pe_watts;
+    // 320 GB/s * 8 bit/B * 10 pJ/bit (Jeddeloh & Keeth prototype).
+    s.hmcProtoWatts = 320e9 * 8 * 10e-12;
+    s.hmcIbmWatts = 5.0;  // IBM 14 nm estimate for a 320 GB/s HMC
+    return s;
+}
+
+} // namespace vip

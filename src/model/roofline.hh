@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The roofline model used for Figure 3.
+ *
+ * Performance counts 16-bit vector-unit ALU operations only; memory
+ * traffic counts every DRAM byte moved, including scalar-pipeline
+ * accesses such as synchronization (the paper's accounting, Sec. VI-A).
+ */
+
+#ifndef VIP_MODEL_ROOFLINE_HH
+#define VIP_MODEL_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vip {
+
+/** A machine's roofline: compute peak and memory-bandwidth slope. */
+struct Roofline
+{
+    double peakGops;          ///< GOp/s at the plateau
+    double peakBandwidthGBs;  ///< slope of the memory-bound region
+
+    /** Attainable GOp/s at a given arithmetic intensity (op/byte). */
+    double
+    attainable(double ops_per_byte) const
+    {
+        const double mem = ops_per_byte * peakBandwidthGBs;
+        return mem < peakGops ? mem : peakGops;
+    }
+
+    /** Arithmetic intensity of the ridge (knee) point. */
+    double knee() const { return peakGops / peakBandwidthGBs; }
+};
+
+/**
+ * VIP's roofline for a machine slice: each PE contributes
+ * 8 ops/cycle at 16-bit (4 vertical + 4 horizontal lanes, Sec. III)
+ * and each vault 10 GB/s. The full machine: 1,280 GOp/s and 320 GB/s.
+ */
+inline Roofline
+vipRoofline(unsigned pes = 128, unsigned vaults = 32)
+{
+    return {pes * 8 * kClockHz / 1e9, vaults * 10.0};
+}
+
+/** One measured kernel on the roofline plot. */
+struct RooflinePoint
+{
+    std::string name;
+    double opsPerByte = 0;
+    double gops = 0;
+
+    /** Fraction of the attainable roofline actually achieved. */
+    double
+    efficiency(const Roofline &roof) const
+    {
+        const double cap = roof.attainable(opsPerByte);
+        return cap > 0 ? gops / cap : 0.0;
+    }
+};
+
+/** Compute a point from raw simulation observations. */
+inline RooflinePoint
+makePoint(std::string name, std::uint64_t ops, std::uint64_t bytes,
+          Cycles cycles)
+{
+    RooflinePoint p;
+    p.name = std::move(name);
+    const double secs = static_cast<double>(cycles) * kSecondsPerCycle;
+    p.opsPerByte = bytes ? static_cast<double>(ops) /
+                               static_cast<double>(bytes)
+                         : 0.0;
+    p.gops = secs > 0 ? static_cast<double>(ops) / secs / 1e9 : 0.0;
+    return p;
+}
+
+} // namespace vip
+
+#endif // VIP_MODEL_ROOFLINE_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Packet-level model of VIP's on-chip network: an 8x4 2D torus of vault
+ * routers with bidirectional 64-bit links (8 B/cycle => 10 GB/s at
+ * 1.25 GHz) and 3 cycles of router+link latency per hop (Sec. V-A).
+ *
+ * Dimension-order (X then Y) routing with shortest-direction wraparound.
+ * Contention is modelled at every traversed link, including the
+ * injection and ejection ports, by per-link serialization: a packet of
+ * S bytes occupies each link for ceil(S / 8) cycles.
+ *
+ * Intra-vault traffic (a PE talking to its own vault controller) uses
+ * only the star's injection and ejection ports, never a torus link.
+ */
+
+#ifndef VIP_NOC_TORUS_HH
+#define VIP_NOC_TORUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/histogram.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vip {
+
+/** One message travelling between vault nodes. */
+struct Packet
+{
+    unsigned src = 0;
+    unsigned dst = 0;
+    unsigned payloadBytes = 0;
+
+    /**
+     * Star-topology lane at each endpoint: lanes 0..3 are the four
+     * PEs' private links to their vault router, lane 4 is the vault
+     * controller's. Each lane is a separate physical link, so a PE's
+     * injections never contend with its neighbors' (Sec. III-C).
+     */
+    unsigned srcLane = 4;
+    unsigned dstLane = 4;
+
+    /** Called at the cycle the packet is fully delivered at dst. */
+    std::function<void(Packet &)> onArrive;
+
+    Cycles injectedAt = 0;
+    Cycles deliveredAt = 0;
+
+    /** Internal: set once the ejection port has been reserved. */
+    bool ejected = false;
+};
+
+class TorusNoc
+{
+  public:
+    /** Per-hop router+link latency (cycles). */
+    static constexpr Cycles kHopLatency = 3;
+    /** Link width: 64 bit per direction per cycle. */
+    static constexpr unsigned kBytesPerCycle = 8;
+    /** Header overhead added to every packet's serialization. */
+    static constexpr unsigned kHeaderBytes = 8;
+
+    TorusNoc(unsigned xdim, unsigned ydim, StatGroup *parent = nullptr);
+
+    unsigned numNodes() const { return xdim_ * ydim_; }
+    unsigned nodeX(unsigned n) const { return n % xdim_; }
+    unsigned nodeY(unsigned n) const { return n / xdim_; }
+    unsigned nodeAt(unsigned x, unsigned y) const { return y * xdim_ + x; }
+
+    /** Minimal hop count between two nodes on the torus. */
+    unsigned hopCount(unsigned src, unsigned dst) const;
+
+    /** Inject a packet at its source node at cycle @p now. */
+    void send(Packet pkt, Cycles now);
+
+    /** Deliver every packet whose arrival time has been reached. */
+    void tick(Cycles now);
+
+    bool idle() const { return events_.empty(); }
+
+    /** Packets delivered so far. */
+    std::uint64_t delivered() const { return statDelivered_.value(); }
+
+    /** Distribution of packet latencies (cycles). */
+    const Histogram &latencyHistogram() const { return latencyHist_; }
+
+    double
+    avgLatency() const
+    {
+        const auto n = statDelivered_.value();
+        return n == 0 ? 0.0
+                      : static_cast<double>(statLatency_.value()) /
+                            static_cast<double>(n);
+    }
+
+    /** Star lanes per node: four PEs plus the vault controller. */
+    static constexpr unsigned kLanes = 5;
+
+  private:
+    /** Link classes out of a router: four torus directions, then
+     *  kLanes ejection and kLanes injection star links. */
+    enum Port : unsigned
+    {
+        XPlus = 0,
+        XMinus,
+        YPlus,
+        YMinus,
+        EjectBase,                      // kLanes links
+        InjectBase = EjectBase + kLanes, // kLanes links
+        NumPorts = InjectBase + kLanes,
+    };
+
+    struct Event
+    {
+        Cycles at;
+        std::size_t packetIndex;
+        unsigned node;
+
+        bool operator>(const Event &o) const { return at > o.at; }
+    };
+
+    std::size_t linkId(unsigned node, Port port) const
+    {
+        return node * NumPorts + port;
+    }
+
+    /** Next hop (node, port) toward dst using dimension-order routing. */
+    std::pair<unsigned, Port> route(unsigned node, unsigned dst) const;
+
+    /**
+     * Occupy @p link from @p ready: returns the cycle the transfer
+     * starts (>= ready) and bumps the link's next-free time.
+     */
+    Cycles occupy(std::size_t link, Cycles ready, unsigned bytes);
+
+    void advance(std::size_t packet_index, unsigned node, Cycles now);
+
+    unsigned xdim_;
+    unsigned ydim_;
+
+    std::vector<Packet> packets_;      ///< slot table for in-flight packets
+    std::vector<std::size_t> freeSlots_;
+    std::vector<Cycles> linkFreeAt_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+    StatGroup statGroup_;
+    Counter statDelivered_;
+    Counter statBytes_;
+    Counter statLatency_;
+    Counter statHops_;
+    Histogram latencyHist_;
+};
+
+} // namespace vip
+
+#endif // VIP_NOC_TORUS_HH

@@ -1,0 +1,48 @@
+#include "pe/arc.hh"
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+ArcTable::ArcTable(unsigned entries) : entries_(entries)
+{
+    vip_assert(entries > 0, "ARC needs at least one entry");
+}
+
+int
+ArcTable::allocate(SpAddr start, SpAddr end)
+{
+    vip_assert(start < end, "empty ARC range");
+    if (full())
+        return -1;
+    for (unsigned i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].live) {
+            entries_[i] = {start, end, true};
+            ++liveCount_;
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+void
+ArcTable::clear(int id)
+{
+    vip_assert(id >= 0 && id < static_cast<int>(entries_.size()),
+               "bad ARC id");
+    vip_assert(entries_[id].live, "clearing a dead ARC entry");
+    entries_[id].live = false;
+    --liveCount_;
+}
+
+bool
+ArcTable::overlaps(SpAddr start, SpAddr end) const
+{
+    for (const auto &e : entries_) {
+        if (e.live && start < e.end && e.start < end)
+            return true;
+    }
+    return false;
+}
+
+} // namespace vip

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Array range check (ARC): the associative array that detects hazards
+ * between in-flight DRAM->scratchpad loads and later instructions
+ * (Sec. III-B).
+ *
+ * An entry holding [start, end) is created when a ld.sram issues and
+ * cleared when the load's data has been written to the scratchpad. Any
+ * instruction whose scratchpad operands overlap a live entry must stall
+ * in the issue stage. The paper's table has twenty entries (more would
+ * strain the 0.8 ns cycle); the size is a constructor parameter here so
+ * the ablation bench can sweep it. Issue also stalls when a new load
+ * finds the table full.
+ *
+ * The paper notes the ARC could additionally interlock the vector
+ * pipeline's own output ranges, freeing the programmer from latency
+ * scheduling at the cost of a bigger table and more lookups; the PE
+ * model exposes that option (PeConfig::arcCoversVector) and the
+ * ablation bench measures it.
+ */
+
+#ifndef VIP_PE_ARC_HH
+#define VIP_PE_ARC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vip {
+
+class ArcTable
+{
+  public:
+    /** The paper's synthesized configuration. */
+    static constexpr unsigned kEntries = 20;
+
+    explicit ArcTable(unsigned entries = kEntries);
+
+    /** Allocate an entry for [start, end). Returns the entry id, or -1
+     *  when the table is full (issue must stall). */
+    int allocate(SpAddr start, SpAddr end);
+
+    /** Clear entry @p id when its load completes. */
+    void clear(int id);
+
+    /** True if [start, end) overlaps any live entry. */
+    bool overlaps(SpAddr start, SpAddr end) const;
+
+    bool full() const { return liveCount_ == entries_.size(); }
+    unsigned liveCount() const { return liveCount_; }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        SpAddr start = 0;
+        SpAddr end = 0;
+        bool live = false;
+    };
+
+    std::vector<Entry> entries_;
+    unsigned liveCount_ = 0;
+};
+
+} // namespace vip
+
+#endif // VIP_PE_ARC_HH

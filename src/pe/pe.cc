@@ -1,0 +1,704 @@
+#include "pe/pe.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+namespace {
+
+constexpr Cycles kNeverReady = std::numeric_limits<Cycles>::max();
+
+std::int64_t
+saturate(std::int64_t v, ElemWidth w)
+{
+    switch (w) {
+      case ElemWidth::W8:
+        return std::clamp<std::int64_t>(v, INT8_MIN, INT8_MAX);
+      case ElemWidth::W16:
+        return std::clamp<std::int64_t>(v, INT16_MIN, INT16_MAX);
+      case ElemWidth::W32:
+        return std::clamp<std::int64_t>(v, INT32_MIN, INT32_MAX);
+      case ElemWidth::W64:
+        return v;
+    }
+    return v;
+}
+
+std::int64_t
+applyVecOp(VecOp op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case VecOp::Mul: return a * b;
+      case VecOp::Add: return a + b;
+      case VecOp::Sub: return a - b;
+      case VecOp::Min: return std::min(a, b);
+      case VecOp::Max: return std::max(a, b);
+      case VecOp::Nop: return a;
+    }
+    return a;
+}
+
+std::int64_t
+applyRedOp(RedOp op, std::int64_t acc, std::int64_t v)
+{
+    switch (op) {
+      case RedOp::Add: return acc + v;
+      case RedOp::Min: return std::min(acc, v);
+      case RedOp::Max: return std::max(acc, v);
+    }
+    return acc;
+}
+
+std::int64_t
+redIdentity(RedOp op)
+{
+    switch (op) {
+      case RedOp::Add: return 0;
+      case RedOp::Min: return std::numeric_limits<std::int64_t>::max();
+      case RedOp::Max: return std::numeric_limits<std::int64_t>::min();
+    }
+    return 0;
+}
+
+std::int64_t
+applyScalarOp(ScalarOp op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case ScalarOp::Add: return a + b;
+      case ScalarOp::Sub: return a - b;
+      case ScalarOp::Sll: return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(a) << (b & 63));
+      case ScalarOp::Srl: return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(a) >> (b & 63));
+      case ScalarOp::Sra: return a >> (b & 63);
+      case ScalarOp::And: return a & b;
+      case ScalarOp::Or: return a | b;
+      case ScalarOp::Xor: return a ^ b;
+    }
+    return a;
+}
+
+} // namespace
+
+Pe::Pe(const PeConfig &cfg, DramStorage &dram, const AddressMapper &mapper,
+       MemIssueFn issue, StatGroup *parent)
+    : cfg_(cfg), dram_(dram), mapper_(mapper), memIssue_(std::move(issue)),
+      arc_(cfg.arcEntries),
+      statGroup_("pe" + std::to_string(cfg.peId), parent),
+      stats_{Counter(&statGroup_, "instructions", "instructions committed"),
+             Counter(&statGroup_, "vector_instructions",
+                     "vector instructions committed"),
+             Counter(&statGroup_, "vector_ops",
+                     "vector ALU lane operations"),
+             Counter(&statGroup_, "stall_scalar",
+                     "cycles stalled on scalar register valid bits"),
+             Counter(&statGroup_, "stall_vector_busy",
+                     "cycles stalled on vector unit occupancy"),
+             Counter(&statGroup_, "stall_arc",
+                     "cycles stalled on ARC overlap or capacity"),
+             Counter(&statGroup_, "stall_lsq",
+                     "cycles stalled on load-store queue capacity"),
+             Counter(&statGroup_, "stall_fence",
+                     "cycles stalled in memfence"),
+             Counter(&statGroup_, "stall_drain",
+                     "cycles stalled in v.drain"),
+             Counter(&statGroup_, "dram_read_bytes",
+                     "bytes loaded from DRAM"),
+             Counter(&statGroup_, "dram_write_bytes",
+                     "bytes stored to DRAM"),
+             Counter(&statGroup_, "timing_hazards",
+                     "reads issued inside a producer's timing shadow"),
+             Counter(&statGroup_, "busy_cycles",
+                     "cycles an instruction issued")}
+{
+    vip_assert(memIssue_, "PE needs a memory issue function");
+}
+
+void
+Pe::loadProgram(std::vector<Instruction> prog)
+{
+    vip_assert(prog.size() <= kInstBufferEntries, "program of ",
+               prog.size(), " instructions exceeds the instruction buffer");
+    prog_ = std::move(prog);
+    pc_ = 0;
+    halted_ = prog_.empty();
+}
+
+void
+Pe::setReg(unsigned r, std::uint64_t v)
+{
+    vip_assert(r < kNumScalarRegs, "register r", r, " out of range");
+    regs_[r] = v;
+    regReadyAt_[r] = 0;
+}
+
+std::uint64_t
+Pe::reg(unsigned r) const
+{
+    vip_assert(r < kNumScalarRegs, "register r", r, " out of range");
+    return regs_[r];
+}
+
+bool
+Pe::regReady(unsigned r, Cycles now) const
+{
+    return regReadyAt_[r] <= now;
+}
+
+bool
+Pe::regsReady(const Instruction &inst, Cycles now) const
+{
+    switch (inst.op) {
+      case Opcode::SetVl:
+      case Opcode::SetMr:
+        return regReady(inst.rs1, now);
+      case Opcode::MatVec:
+      case Opcode::VecVec:
+      case Opcode::VecScalar:
+      case Opcode::LdSram:
+      case Opcode::StSram:
+        return regReady(inst.rd, now) && regReady(inst.rs1, now) &&
+               regReady(inst.rs2, now);
+      case Opcode::ScalarRR:
+        return regReady(inst.rs1, now) && regReady(inst.rs2, now);
+      case Opcode::ScalarRI:
+      case Opcode::Mov:
+        return regReady(inst.rs1, now);
+      case Opcode::MovImm:
+        return true;
+      case Opcode::Branch:
+        return regReady(inst.rs1, now) && regReady(inst.rs2, now);
+      case Opcode::LdReg:
+        return regReady(inst.rs1, now);
+      case Opcode::StReg:
+        return regReady(inst.rd, now) && regReady(inst.rs1, now);
+      default:
+        return true;
+    }
+}
+
+std::int64_t
+Pe::loadElemSigned(SpAddr a, ElemWidth w) const
+{
+    switch (w) {
+      case ElemWidth::W8: return scratchpad_.load<std::int8_t>(a);
+      case ElemWidth::W16: return scratchpad_.load<std::int16_t>(a);
+      case ElemWidth::W32: return scratchpad_.load<std::int32_t>(a);
+      case ElemWidth::W64: return scratchpad_.load<std::int64_t>(a);
+    }
+    return 0;
+}
+
+void
+Pe::storeElemSaturating(SpAddr a, ElemWidth w, std::int64_t v)
+{
+    const std::int64_t s = saturate(v, w);
+    switch (w) {
+      case ElemWidth::W8:
+        scratchpad_.store<std::int8_t>(a, static_cast<std::int8_t>(s));
+        break;
+      case ElemWidth::W16:
+        scratchpad_.store<std::int16_t>(a, static_cast<std::int16_t>(s));
+        break;
+      case ElemWidth::W32:
+        scratchpad_.store<std::int32_t>(a, static_cast<std::int32_t>(s));
+        break;
+      case ElemWidth::W64:
+        scratchpad_.store<std::int64_t>(a, s);
+        break;
+    }
+}
+
+void
+Pe::checkReadHazard(SpAddr addr, unsigned bytes, Cycles now)
+{
+    if (scratchpad_.hazardousStreamRead(addr, bytes, now)) {
+        stats_.timingHazards += 1;
+        if (cfg_.strictHazards) {
+            vip_panic("pe", cfg_.peId, ": timing hazard reading sp[",
+                      addr, ", ", addr + bytes, ") at cycle ", now,
+                      " — kernel is mis-scheduled");
+        }
+    }
+}
+
+bool
+Pe::issueConfig(const Instruction &inst, Cycles now)
+{
+    if (!regsReady(inst, now)) {
+        stats_.stallScalar += 1;
+        return false;
+    }
+    if (inst.op == Opcode::SetVl) {
+        vl_ = regs_[inst.rs1];
+        vip_assert(vl_ > 0 && vl_ <= Scratchpad::kBytes,
+                   "set.vl with illegal length ", vl_);
+    } else {
+        mr_ = regs_[inst.rs1];
+        vip_assert(mr_ > 0 && mr_ <= Scratchpad::kBytes,
+                   "set.mr with illegal row count ", mr_);
+    }
+    return true;
+}
+
+bool
+Pe::issueScalar(const Instruction &inst, Cycles now)
+{
+    if (!regsReady(inst, now)) {
+        stats_.stallScalar += 1;
+        return false;
+    }
+    const auto a = static_cast<std::int64_t>(regs_[inst.rs1]);
+    std::int64_t result = 0;
+    switch (inst.op) {
+      case Opcode::ScalarRR:
+        result = applyScalarOp(inst.sop, a,
+                               static_cast<std::int64_t>(regs_[inst.rs2]));
+        break;
+      case Opcode::ScalarRI:
+        result = applyScalarOp(inst.sop, a, inst.imm);
+        break;
+      case Opcode::Mov:
+        result = a;
+        break;
+      case Opcode::MovImm:
+        result = inst.imm;
+        break;
+      default:
+        vip_panic("not a scalar instruction");
+    }
+    regs_[inst.rd] = static_cast<std::uint64_t>(result);
+    regReadyAt_[inst.rd] = now + 1;
+    return true;
+}
+
+bool
+Pe::issueBranch(const Instruction &inst, Cycles now)
+{
+    if (!regsReady(inst, now)) {
+        stats_.stallScalar += 1;
+        return false;
+    }
+    if (inst.op == Opcode::Jmp) {
+        pc_ = static_cast<std::size_t>(inst.imm);
+        return true;
+    }
+    const auto a = static_cast<std::int64_t>(regs_[inst.rs1]);
+    const auto b = static_cast<std::int64_t>(regs_[inst.rs2]);
+    bool taken = false;
+    switch (inst.cond) {
+      case BranchCond::Lt: taken = a < b; break;
+      case BranchCond::Ge: taken = a >= b; break;
+      case BranchCond::Eq: taken = a == b; break;
+      case BranchCond::Ne: taken = a != b; break;
+    }
+    pc_ = taken ? static_cast<std::size_t>(inst.imm) : pc_ + 1;
+    return true;
+}
+
+void
+Pe::execVector(const Instruction &inst, Cycles now, Cycles done_at)
+{
+    const unsigned w = widthBytes(inst.width);
+    const auto vl = static_cast<unsigned>(vl_);
+
+    if (inst.op == Opcode::VecVec || inst.op == Opcode::VecScalar) {
+        const auto dst = static_cast<SpAddr>(regs_[inst.rd]);
+        const auto src_a = static_cast<SpAddr>(regs_[inst.rs1]);
+        checkReadHazard(src_a, vl * w, now);
+        SpAddr src_b = 0;
+        std::int64_t scalar = 0;
+        if (inst.op == Opcode::VecVec) {
+            src_b = static_cast<SpAddr>(regs_[inst.rs2]);
+            checkReadHazard(src_b, vl * w, now);
+        } else {
+            scalar = saturate(static_cast<std::int64_t>(regs_[inst.rs2]),
+                              inst.width);
+        }
+        for (unsigned i = 0; i < vl; ++i) {
+            const std::int64_t a = loadElemSigned(src_a + i * w,
+                                                  inst.width);
+            const std::int64_t b = inst.op == Opcode::VecVec
+                                       ? loadElemSigned(src_b + i * w,
+                                                        inst.width)
+                                       : scalar;
+            storeElemSaturating(dst + i * w, inst.width,
+                                applyVecOp(inst.vop, a, b));
+        }
+        // The destination streams out behind the pipeline depth.
+        scratchpad_.markReadyStream(dst, vl * w, done_at - (vl * w) / 8);
+        stats_.vectorLaneOps += vl;
+        return;
+    }
+
+    // MatVec: MR x VL row-major matrix at rs1, vector at rs2, MR results.
+    const auto mr = static_cast<unsigned>(mr_);
+    const auto dst = static_cast<SpAddr>(regs_[inst.rd]);
+    const auto mat = static_cast<SpAddr>(regs_[inst.rs1]);
+    const auto vec = static_cast<SpAddr>(regs_[inst.rs2]);
+    const Cycles row_cycles = std::max<Cycles>(1, (vl * w + 7) / 8);
+    const Cycles depth = done_at - now - row_cycles * mr;
+
+    checkReadHazard(vec, vl * w, now);
+    for (unsigned r = 0; r < mr; ++r) {
+        checkReadHazard(mat + r * vl * w, vl * w, now + r * row_cycles);
+        std::int64_t acc = redIdentity(inst.rop);
+        for (unsigned i = 0; i < vl; ++i) {
+            const std::int64_t m = loadElemSigned(mat + (r * vl + i) * w,
+                                                  inst.width);
+            const std::int64_t v = inst.vop == VecOp::Nop
+                                       ? 0
+                                       : loadElemSigned(vec + i * w,
+                                                        inst.width);
+            acc = applyRedOp(inst.rop, acc, applyVecOp(inst.vop, m, v));
+        }
+        storeElemSaturating(dst + r * w, inst.width, acc);
+        scratchpad_.markReadyAt(dst + r * w, w,
+                                now + (r + 1) * row_cycles + depth);
+    }
+    stats_.vectorLaneOps += 2ull * mr * vl;
+}
+
+bool
+Pe::issueVector(const Instruction &inst, Cycles now)
+{
+    if (!regsReady(inst, now)) {
+        stats_.stallScalar += 1;
+        return false;
+    }
+    if (now < vectorBusyUntil_) {
+        stats_.stallVectorBusy += 1;
+        return false;
+    }
+    vip_assert(vl_ > 0, "vector instruction with VL unset");
+
+    const unsigned w = widthBytes(inst.width);
+    const auto vl = static_cast<unsigned>(vl_);
+
+    // Gather the scratchpad ranges this instruction touches.
+    struct Range { SpAddr start; unsigned bytes; };
+    Range ranges[3];
+    unsigned nranges = 0;
+    Cycles occupancy = 0;
+
+    if (inst.op == Opcode::MatVec) {
+        vip_assert(mr_ > 0, "m.v with MR unset");
+        vip_assert(cfg_.enableReduction,
+                   "m.v issued on a configuration without the reduction "
+                   "unit (Fig. 4 ablation)");
+        const auto mr = static_cast<unsigned>(mr_);
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs1]),
+                             mr * vl * w};
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs2]), vl * w};
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rd]), mr * w};
+        occupancy = std::max<Cycles>(1, (vl * w + 7) / 8) * mr;
+    } else {
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs1]), vl * w};
+        if (inst.op == Opcode::VecVec) {
+            ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs2]),
+                                 vl * w};
+        }
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rd]), vl * w};
+        occupancy = std::max<Cycles>(1, (vl * w + 7) / 8);
+    }
+
+    for (unsigned i = 0; i < nranges; ++i) {
+        vip_assert(ranges[i].start + ranges[i].bytes <= Scratchpad::kBytes,
+                   "vector operand [", ranges[i].start, ", ",
+                   ranges[i].start + ranges[i].bytes,
+                   ") outside the scratchpad");
+        if (arc_.overlaps(ranges[i].start,
+                          ranges[i].start + ranges[i].bytes)) {
+            stats_.stallArc += 1;
+            return false;
+        }
+    }
+
+    const Cycles alu = inst.vop == VecOp::Mul ? cfg_.mulStages
+                                              : cfg_.aluStages;
+    const Cycles depth = alu + (inst.op == Opcode::MatVec
+                                    ? cfg_.reduceStages
+                                    : 0);
+    // The last element enters the pipe at now + occupancy - 1 and its
+    // result is written `depth` stages later.
+    const Cycles done_at = now + occupancy - 1 + depth;
+
+    if (cfg_.arcCoversVector) {
+        // Hardware interlock mode: the destination range gets an ARC
+        // entry held until the pipeline writes it back, so later
+        // instructions stall instead of observing the timing shadow.
+        const auto &dst = ranges[nranges - 1];
+        const int id = arc_.allocate(dst.start, dst.start + dst.bytes);
+        if (id < 0) {
+            stats_.stallArc += 1;
+            return false;
+        }
+        vecArcPending_.emplace_back(done_at, id);
+    }
+
+    execVector(inst, now, done_at);
+
+    vectorBusyUntil_ = now + occupancy;
+    vectorDrainedAt_ = std::max(vectorDrainedAt_, done_at);
+    stats_.vectorInstructions += 1;
+    return true;
+}
+
+bool
+Pe::issueDramTransfer(Addr dram, unsigned bytes, bool is_write, int arc_id,
+                      int dest_reg, Cycles now)
+{
+    // Split at vault-contiguity boundaries so each piece has one home.
+    const auto &geom = mapper_.geometry();
+    const std::uint64_t span = mapper_.scheme() == AddrMap::VaultRowBankCol
+                                   ? geom.bytesPerVault()
+                                   : geom.colBytes;
+
+    // Count pieces first: the transfer issues atomically or not at all.
+    unsigned pieces = 0;
+    {
+        Addr a = dram;
+        std::uint64_t rem = bytes;
+        while (rem > 0) {
+            const std::uint64_t chunk = std::min<std::uint64_t>(
+                rem, span - (a % span));
+            ++pieces;
+            a += chunk;
+            rem -= chunk;
+        }
+    }
+    if (lsqLive_ + pieces > cfg_.lsqEntries) {
+        stats_.stallLsq += 1;
+        return false;
+    }
+
+    auto pending = std::make_shared<unsigned>(pieces);
+    Addr a = dram;
+    std::uint64_t rem = bytes;
+    while (rem > 0) {
+        const auto chunk = static_cast<unsigned>(
+            std::min<std::uint64_t>(rem, span - (a % span)));
+        auto req = std::make_unique<MemRequest>();
+        req->addr = a;
+        req->bytes = chunk;
+        req->isWrite = is_write;
+        req->sourcePe = cfg_.peId;
+        req->id = nextReqId_++;
+        req->issuedAt = now;
+        req->onComplete = [this, pending, arc_id,
+                           dest_reg](MemRequest &done) {
+            vip_assert(lsqLive_ > 0, "LSQ underflow");
+            --lsqLive_;
+            if (--*pending == 0) {
+                if (arc_id >= 0)
+                    arc_.clear(arc_id);
+                if (dest_reg >= 0)
+                    regReadyAt_[dest_reg] = done.completedAt;
+            }
+        };
+        ++lsqLive_;
+        memIssue_(std::move(req));
+        a += chunk;
+        rem -= chunk;
+    }
+
+    if (is_write)
+        stats_.dramWriteBytes += bytes;
+    else
+        stats_.dramReadBytes += bytes;
+    return true;
+}
+
+bool
+Pe::issueMemory(const Instruction &inst, Cycles now)
+{
+    if (!regsReady(inst, now)) {
+        stats_.stallScalar += 1;
+        return false;
+    }
+    const unsigned w = widthBytes(inst.width);
+
+    switch (inst.op) {
+      case Opcode::LdSram: {
+        const auto sp = static_cast<SpAddr>(regs_[inst.rd]);
+        const Addr dram = regs_[inst.rs1];
+        const auto bytes = static_cast<unsigned>(regs_[inst.rs2] * w);
+        vip_assert(bytes > 0 && sp + bytes <= Scratchpad::kBytes,
+                   "ld.sram range [", sp, ", ", sp + bytes,
+                   ") outside the scratchpad");
+        if (arc_.overlaps(sp, sp + bytes)) {
+            stats_.stallArc += 1;
+            return false;
+        }
+        if (arc_.full()) {
+            stats_.stallArc += 1;
+            return false;
+        }
+        const int arc_id = arc_.allocate(sp, sp + bytes);
+        vip_assert(arc_id >= 0, "ARC allocation failed after full check");
+        if (!issueDramTransfer(dram, bytes, false, arc_id, -1, now)) {
+            arc_.clear(arc_id);
+            return false;
+        }
+        // Function: data lands now, in program order.
+        std::vector<std::uint8_t> buf(bytes);
+        dram_.read(dram, buf.data(), bytes);
+        scratchpad_.write(sp, buf.data(), bytes);
+        return true;
+      }
+      case Opcode::StSram: {
+        const auto sp = static_cast<SpAddr>(regs_[inst.rd]);
+        const Addr dram = regs_[inst.rs1];
+        const auto bytes = static_cast<unsigned>(regs_[inst.rs2] * w);
+        vip_assert(bytes > 0 && sp + bytes <= Scratchpad::kBytes,
+                   "st.sram range [", sp, ", ", sp + bytes,
+                   ") outside the scratchpad");
+        if (arc_.overlaps(sp, sp + bytes)) {
+            stats_.stallArc += 1;
+            return false;
+        }
+        checkReadHazard(sp, bytes, now);
+        if (!issueDramTransfer(dram, bytes, true, -1, -1, now))
+            return false;
+        std::vector<std::uint8_t> buf(bytes);
+        scratchpad_.read(sp, buf.data(), bytes);
+        dram_.write(dram, buf.data(), bytes);
+        return true;
+      }
+      case Opcode::LdReg: {
+        const Addr dram = regs_[inst.rs1];
+        if (!issueDramTransfer(dram, w, false, -1,
+                               static_cast<int>(inst.rd), now)) {
+            return false;
+        }
+        // Sign-extended functional load at issue.
+        std::int64_t v = 0;
+        switch (inst.width) {
+          case ElemWidth::W8: v = dram_.load<std::int8_t>(dram); break;
+          case ElemWidth::W16: v = dram_.load<std::int16_t>(dram); break;
+          case ElemWidth::W32: v = dram_.load<std::int32_t>(dram); break;
+          case ElemWidth::W64: v = dram_.load<std::int64_t>(dram); break;
+        }
+        regs_[inst.rd] = static_cast<std::uint64_t>(v);
+        regReadyAt_[inst.rd] = kNeverReady;  // valid bit cleared
+        return true;
+      }
+      case Opcode::StReg: {
+        const Addr dram = regs_[inst.rs1];
+        if (!issueDramTransfer(dram, w, true, -1, -1, now))
+            return false;
+        const std::uint64_t v = regs_[inst.rd];
+        switch (inst.width) {
+          case ElemWidth::W8:
+            dram_.store<std::uint8_t>(dram, static_cast<std::uint8_t>(v));
+            break;
+          case ElemWidth::W16:
+            dram_.store<std::uint16_t>(dram,
+                                       static_cast<std::uint16_t>(v));
+            break;
+          case ElemWidth::W32:
+            dram_.store<std::uint32_t>(dram,
+                                       static_cast<std::uint32_t>(v));
+            break;
+          case ElemWidth::W64:
+            dram_.store<std::uint64_t>(dram, v);
+            break;
+        }
+        return true;
+      }
+      default:
+        vip_panic("not a memory instruction");
+    }
+}
+
+void
+Pe::tick(Cycles now)
+{
+    // Retire vector-pipeline ARC entries whose writeback completed.
+    if (!vecArcPending_.empty()) {
+        for (auto it = vecArcPending_.begin();
+             it != vecArcPending_.end();) {
+            if (it->first <= now) {
+                arc_.clear(it->second);
+                it = vecArcPending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (halted_)
+        return;
+    vip_assert(pc_ < prog_.size(), "pe", cfg_.peId,
+               ": PC ran off the end of the program");
+
+    const Instruction &inst = prog_[pc_];
+    bool issued = false;
+    bool is_branch = false;
+
+    switch (inst.op) {
+      case Opcode::SetVl:
+      case Opcode::SetMr:
+        issued = issueConfig(inst, now);
+        break;
+      case Opcode::VDrain:
+        if (now < vectorDrainedAt_) {
+            stats_.stallDrain += 1;
+        } else {
+            issued = true;
+        }
+        break;
+      case Opcode::MatVec:
+      case Opcode::VecVec:
+      case Opcode::VecScalar:
+        issued = issueVector(inst, now);
+        break;
+      case Opcode::ScalarRR:
+      case Opcode::ScalarRI:
+      case Opcode::Mov:
+      case Opcode::MovImm:
+        issued = issueScalar(inst, now);
+        break;
+      case Opcode::Branch:
+      case Opcode::Jmp:
+        issued = issueBranch(inst, now);
+        is_branch = issued;
+        break;
+      case Opcode::LdSram:
+      case Opcode::StSram:
+      case Opcode::LdReg:
+      case Opcode::StReg:
+        issued = issueMemory(inst, now);
+        break;
+      case Opcode::Memfence:
+        if (lsqLive_ > 0) {
+            stats_.stallFence += 1;
+        } else {
+            issued = true;
+        }
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        issued = true;
+        break;
+      case Opcode::Nop:
+        issued = true;
+        break;
+    }
+
+    if (issued) {
+        if (tracer_)
+            tracer_(now, static_cast<std::size_t>(&inst - prog_.data()),
+                    inst);
+        stats_.instructions += 1;
+        stats_.busyCycles += 1;
+        if (!is_branch && !halted_)
+            ++pc_;
+        else if (halted_)
+            ++pc_;
+    }
+}
+
+} // namespace vip

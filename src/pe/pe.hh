@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cycle-level model of one VIP processing engine (Sec. III-B).
+ *
+ * Pipeline structure (matching Fig. 1): a unified fetch/decode/issue
+ * front end feeding three independent back ends — the vector unit
+ * (vertical element-wise stage chained into a horizontal reduction
+ * stage, 64-bit subword datapath), the scalar unit (64 x 64-bit
+ * register file with per-register valid bits), and the load-store unit
+ * (64 outstanding accesses). Issue is strictly in order: a stalled
+ * instruction stalls everything behind it. Completion is out of order
+ * and there are no precise exceptions.
+ *
+ * Functional execution happens at issue, in program order; timing is
+ * tracked alongside (vector completion times, DRAM round trips,
+ * register valid bits). The vector pipeline's latency is exposed to the
+ * programmer exactly as in the paper: the issue stage does *not*
+ * interlock on scratchpad ranges written by earlier vector
+ * instructions. A built-in hazard checker records (or, in strict mode,
+ * panics on) reads scheduled inside a producer's timing shadow, which
+ * is how we verify that generated kernels are legally scheduled.
+ */
+
+#ifndef VIP_PE_PE_HH
+#define VIP_PE_PE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "mem/addrmap.hh"
+#include "mem/request.hh"
+#include "mem/storage.hh"
+#include "pe/arc.hh"
+#include "pe/scratchpad.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vip {
+
+/** Static configuration of one PE. */
+struct PeConfig
+{
+    unsigned peId = 0;        ///< global PE id (0..127)
+    unsigned vault = 0;       ///< home vault
+    unsigned lsqEntries = 64; ///< outstanding loads/stores (Sec. III-B)
+    unsigned arcEntries = ArcTable::kEntries; ///< ARC table size
+    unsigned mulStages = 4;   ///< multiplier pipeline depth
+    unsigned aluStages = 1;   ///< add-like vertical op latency
+    unsigned reduceStages = 2; ///< horizontal unit latency
+    bool strictHazards = false; ///< panic on vector timing hazards
+    bool enableReduction = true; ///< false emulates a no-reduction ISA
+
+    /**
+     * Also allocate ARC entries for vector-pipeline destination
+     * ranges, interlocking issue on every scratchpad hazard — the
+     * hardware alternative to exposed latency the paper sketches in
+     * Sec. III-B (bigger table, extra lookups, more power) in exchange
+     * for schedule-free correctness.
+     */
+    bool arcCoversVector = false;
+};
+
+/** How the PE hands memory transactions to the system. */
+using MemIssueFn = std::function<void(std::unique_ptr<MemRequest>)>;
+
+class Pe
+{
+  public:
+    Pe(const PeConfig &cfg, DramStorage &dram, const AddressMapper &mapper,
+       MemIssueFn issue, StatGroup *parent);
+
+    /** Load a program and reset PC; registers are preserved so the host
+     *  can pass arguments via setReg() before or after. */
+    void loadProgram(std::vector<Instruction> prog);
+
+    /** Host interface: seed an argument register. */
+    void setReg(unsigned r, std::uint64_t v);
+    std::uint64_t reg(unsigned r) const;
+
+    /** Per-issue trace hook: (cycle, pc, instruction). */
+    using Tracer =
+        std::function<void(Cycles, std::size_t, const Instruction &)>;
+
+    void setTracer(Tracer t) { tracer_ = std::move(t); }
+
+    /** Advance one clock cycle (issue at most one instruction). */
+    void tick(Cycles now);
+
+    bool halted() const { return halted_; }
+
+    /** Halted with no outstanding memory traffic. */
+    bool idle() const { return halted_ && lsqLive_ == 0; }
+
+    Scratchpad &scratchpad() { return scratchpad_; }
+    const Scratchpad &scratchpad() const { return scratchpad_; }
+
+    const PeConfig &config() const { return cfg_; }
+
+    /** Observable statistics. */
+    struct Stats
+    {
+        Counter instructions;
+        Counter vectorInstructions;
+        Counter vectorLaneOps;   ///< 16-bit-equivalent ALU ops (Sec. VI-A)
+        Counter stallScalar;
+        Counter stallVectorBusy;
+        Counter stallArc;
+        Counter stallLsq;
+        Counter stallFence;
+        Counter stallDrain;
+        Counter dramReadBytes;
+        Counter dramWriteBytes;
+        Counter timingHazards;
+        Counter busyCycles;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** Total 16-bit-equivalent vector ALU operations executed. */
+    std::uint64_t vectorOps() const { return stats_.vectorLaneOps.value(); }
+
+  private:
+    // --- issue helpers; each returns true when the instruction issued ---
+    bool issueScalar(const Instruction &inst, Cycles now);
+    bool issueBranch(const Instruction &inst, Cycles now);
+    bool issueVector(const Instruction &inst, Cycles now);
+    bool issueMemory(const Instruction &inst, Cycles now);
+    bool issueConfig(const Instruction &inst, Cycles now);
+
+    bool regsReady(const Instruction &inst, Cycles now) const;
+    bool regReady(unsigned r, Cycles now) const;
+
+    void execVector(const Instruction &inst, Cycles now, Cycles done_at);
+    void checkReadHazard(SpAddr addr, unsigned bytes, Cycles now);
+
+    /** Issue a DRAM transfer, splitting at vault boundaries.
+     *  @return false if the LSQ cannot hold all the pieces. */
+    bool issueDramTransfer(Addr dram, unsigned bytes, bool is_write,
+                           int arc_id, int dest_reg, Cycles now);
+
+    std::int64_t loadElemSigned(SpAddr a, ElemWidth w) const;
+    void storeElemSaturating(SpAddr a, ElemWidth w, std::int64_t v);
+
+    PeConfig cfg_;
+    DramStorage &dram_;
+    const AddressMapper &mapper_;
+    MemIssueFn memIssue_;
+
+    std::vector<Instruction> prog_;
+    std::size_t pc_ = 0;
+    bool halted_ = true;
+
+    std::array<std::uint64_t, kNumScalarRegs> regs_{};
+    std::array<Cycles, kNumScalarRegs> regReadyAt_{};
+
+    std::uint64_t vl_ = 0;  ///< vector length (elements)
+    std::uint64_t mr_ = 0;  ///< matrix rows
+
+    Scratchpad scratchpad_;
+    ArcTable arc_;
+
+    /** (completion time, ARC id) for vector writes when the ARC also
+     *  covers the vector pipeline. */
+    std::vector<std::pair<Cycles, int>> vecArcPending_;
+
+    Cycles vectorBusyUntil_ = 0;   ///< structural: streaming occupancy
+    Cycles vectorDrainedAt_ = 0;   ///< last vector completion time
+
+    unsigned lsqLive_ = 0;
+    std::uint64_t nextReqId_ = 0;
+    Tracer tracer_;
+
+    StatGroup statGroup_;
+    Stats stats_;
+};
+
+} // namespace vip
+
+#endif // VIP_PE_PE_HH

@@ -1,0 +1,64 @@
+#include "pe/scratchpad.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+void
+Scratchpad::read(SpAddr addr, void *dst, unsigned bytes) const
+{
+    vip_assert(addr + bytes <= kBytes, "scratchpad read [", addr, ", ",
+               addr + bytes, ") out of bounds");
+    std::memcpy(dst, data_.data() + addr, bytes);
+}
+
+void
+Scratchpad::write(SpAddr addr, const void *src, unsigned bytes)
+{
+    vip_assert(addr + bytes <= kBytes, "scratchpad write [", addr, ", ",
+               addr + bytes, ") out of bounds");
+    std::memcpy(data_.data() + addr, src, bytes);
+}
+
+void
+Scratchpad::markReadyAt(SpAddr addr, unsigned bytes, Cycles at)
+{
+    vip_assert(addr + bytes <= kBytes, "scratchpad mark out of bounds");
+    for (unsigned i = 0; i < bytes; ++i)
+        readyAt_[addr + i] = std::max(readyAt_[addr + i], at);
+}
+
+void
+Scratchpad::markReadyStream(SpAddr addr, unsigned bytes, Cycles base)
+{
+    vip_assert(addr + bytes <= kBytes, "scratchpad mark out of bounds");
+    for (unsigned i = 0; i < bytes; ++i) {
+        readyAt_[addr + i] = std::max(readyAt_[addr + i], base + i / 8);
+    }
+}
+
+bool
+Scratchpad::hazardousStreamRead(SpAddr addr, unsigned bytes,
+                                Cycles base) const
+{
+    vip_assert(addr + bytes <= kBytes, "scratchpad query out of bounds");
+    for (unsigned i = 0; i < bytes; ++i) {
+        if (readyAt_[addr + i] > base + i / 8)
+            return true;
+    }
+    return false;
+}
+
+Cycles
+Scratchpad::readyAt(SpAddr addr, unsigned bytes) const
+{
+    vip_assert(addr + bytes <= kBytes, "scratchpad query out of bounds");
+    Cycles latest = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        latest = std::max(latest, readyAt_[addr + i]);
+    return latest;
+}
+
+} // namespace vip

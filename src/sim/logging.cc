@@ -1,0 +1,55 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+
+namespace vip {
+
+namespace {
+
+std::atomic<std::size_t> warn_counter{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::size_t
+warnCount()
+{
+    return warn_counter.load();
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Warn)
+        ++warn_counter;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level), msg.c_str(),
+                 file, line);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace vip

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the VIP simulator.
+ *
+ * Follows the gem5 convention: panic() is for simulator bugs (conditions
+ * that should never happen regardless of user input) and aborts; fatal()
+ * is for user errors (bad configuration, malformed assembly) and exits
+ * with an error code; warn()/inform() report conditions without stopping
+ * the simulation.
+ */
+
+#ifndef VIP_SIM_LOGGING_HH
+#define VIP_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vip {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Format and emit one log record; terminates for Fatal and Panic. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &msg,
+                            const char *file, int line);
+
+void logMessage(LogLevel level, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatArgs(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Number of warnings emitted so far (exposed for tests). */
+std::size_t warnCount();
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage(LogLevel::Inform,
+                       detail::formatArgs(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage(LogLevel::Warn,
+                       detail::formatArgs(std::forward<Args>(args)...));
+}
+
+} // namespace vip
+
+/** Unrecoverable user error: print and exit(1). */
+#define vip_fatal(...)                                                      \
+    ::vip::detail::logAndDie(::vip::LogLevel::Fatal,                        \
+                             ::vip::detail::formatArgs(__VA_ARGS__),        \
+                             __FILE__, __LINE__)
+
+/** Simulator bug: print and abort(). */
+#define vip_panic(...)                                                      \
+    ::vip::detail::logAndDie(::vip::LogLevel::Panic,                        \
+                             ::vip::detail::formatArgs(__VA_ARGS__),        \
+                             __FILE__, __LINE__)
+
+/** Internal invariant check; panics with the expression text on failure. */
+#define vip_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            vip_panic("assertion failed: " #cond " ", ##__VA_ARGS__);       \
+        }                                                                   \
+    } while (0)
+
+#endif // VIP_SIM_LOGGING_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All synthetic inputs (stereo pairs, network weights, MRF costs) are
+ * produced with this generator so that tests and benchmarks are exactly
+ * reproducible across runs and platforms.
+ */
+
+#ifndef VIP_SIM_RNG_HH
+#define VIP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace vip {
+
+/** SplitMix64: small, fast, well-distributed, and seed-robust. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_RNG_HH

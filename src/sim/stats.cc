@@ -1,0 +1,85 @@
+#include "sim/stats.hh"
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+Counter::Counter(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    vip_assert(parent != nullptr, "counter '", name_, "' needs a group");
+    parent->addCounter(this);
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name))
+{
+    if (parent)
+        parent->children_.push_back(this);
+}
+
+void
+StatGroup::addCounter(Counter *c)
+{
+    counters_.push_back(c);
+}
+
+void
+StatGroup::addFormula(std::string name, std::string desc,
+                      std::function<double()> fn)
+{
+    formulas_.push_back({std::move(name), std::move(desc), std::move(fn)});
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *c : counters_)
+        c->reset();
+    for (auto *g : children_)
+        g->resetStats();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    dumpImpl(os, "");
+}
+
+void
+StatGroup::dumpImpl(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto *c : counters_) {
+        os << base << "." << c->name() << " " << c->value() << " # "
+           << c->desc() << "\n";
+    }
+    for (const auto &f : formulas_) {
+        os << base << "." << f.name << " " << f.fn() << " # " << f.desc
+           << "\n";
+    }
+    for (const auto *g : children_)
+        g->dumpImpl(os, base);
+}
+
+const Counter *
+StatGroup::findCounter(const std::string &name) const
+{
+    for (const auto *c : counters_) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+double
+StatGroup::evalFormula(const std::string &name) const
+{
+    for (const auto &f : formulas_) {
+        if (f.name == name)
+            return f.fn();
+    }
+    vip_panic("no formula named '", name, "' in group '", name_, "'");
+}
+
+} // namespace vip

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's stats package.
+ *
+ * Components own a StatGroup; scalar statistics register themselves with
+ * the group under a dotted name. Groups can be nested, dumped as text,
+ * and reset between simulation phases (e.g. between warm-up and the
+ * measured region of a benchmark).
+ */
+
+#ifndef VIP_SIM_STATS_HH
+#define VIP_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vip {
+
+class StatGroup;
+
+/** A monotonically increasing (resettable) 64-bit counter statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(StatGroup *parent, std::string name, std::string desc);
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of statistics belonging to one simulated component.
+ * Child groups inherit the parent's name as a dotted prefix when dumped.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter (called from the Counter constructor). */
+    void addCounter(Counter *c);
+
+    /**
+     * Register a derived statistic computed on demand at dump time
+     * (e.g. a bandwidth formula over counters).
+     */
+    void addFormula(std::string name, std::string desc,
+                    std::function<double()> fn);
+
+    /** Reset every counter in this group and all child groups. */
+    void resetStats();
+
+    /** Write "name value # desc" lines for the whole subtree. */
+    void dump(std::ostream &os) const;
+
+    /** Find a counter by name within this group only; null if absent. */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Evaluate a formula by name within this group only. */
+    double evalFormula(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Formula
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> fn;
+    };
+
+    void dumpImpl(std::ostream &os, const std::string &prefix) const;
+
+    std::string name_;
+    std::vector<Counter *> counters_;
+    std::vector<Formula> formulas_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_STATS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental types shared across the VIP simulator.
+ */
+
+#ifndef VIP_SIM_TYPES_HH
+#define VIP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace vip {
+
+/** Simulated clock cycle count. The whole system runs at 1.25 GHz. */
+using Cycles = std::uint64_t;
+
+/** Physical DRAM byte address within the HMC stack. */
+using Addr = std::uint64_t;
+
+/** Byte address within a PE's 4 KiB scratchpad. */
+using SpAddr = std::uint32_t;
+
+/** System clock frequency (Hz): 1.25 GHz, 0.8 ns cycle (Sec. III). */
+inline constexpr double kClockHz = 1.25e9;
+
+/** Seconds per simulated cycle. */
+inline constexpr double kSecondsPerCycle = 1.0 / kClockHz;
+
+/** Convert a cycle count to milliseconds of simulated time. */
+inline constexpr double
+cyclesToMs(Cycles c)
+{
+    return static_cast<double>(c) * kSecondsPerCycle * 1e3;
+}
+
+/** Convert nanoseconds of DRAM timing into (rounded-up) clock cycles. */
+inline constexpr Cycles
+nsToCycles(double ns)
+{
+    double cycles = ns * 1e-9 * kClockHz;
+    auto whole = static_cast<Cycles>(cycles);
+    // Tolerate float fuzz: 0.8 ns is exactly one 1.25 GHz cycle.
+    return (cycles - static_cast<double>(whole) > 1e-6) ? whole + 1
+                                                        : whole;
+}
+
+} // namespace vip
+
+#endif // VIP_SIM_TYPES_HH

@@ -1,0 +1,185 @@
+#include "system/system.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+VipSystem::VipSystem(const SystemConfig &cfg)
+    : cfg_(cfg), statGroup_("system"), hmc_(cfg.mem, &statGroup_),
+      noc_(cfg.nocX, cfg.nocY, &statGroup_),
+      ingress_(cfg.mem.geom.vaults)
+{
+    vip_assert(cfg_.nocX * cfg_.nocY == cfg_.mem.geom.vaults,
+               "NoC grid ", cfg_.nocX, "x", cfg_.nocY,
+               " does not match ", cfg_.mem.geom.vaults, " vaults");
+
+    const unsigned num_pes = cfg_.mem.geom.vaults * cfg_.pesPerVault;
+    pes_.reserve(num_pes);
+    for (unsigned id = 0; id < num_pes; ++id) {
+        PeConfig pe_cfg = cfg_.pe;
+        pe_cfg.peId = id;
+        pe_cfg.vault = id / cfg_.pesPerVault;
+        const unsigned src_vault = pe_cfg.vault;
+        pes_.push_back(std::make_unique<Pe>(
+            pe_cfg, hmc_.storage(), hmc_.mapper(),
+            [this, src_vault](std::unique_ptr<MemRequest> req) {
+                routeRequest(std::move(req), src_vault);
+            },
+            &statGroup_));
+    }
+
+    for (unsigned v = 0; v < cfg_.mem.geom.vaults; ++v) {
+        hmc_.vault(v).setCompletionHandler(
+            [this, v](std::unique_ptr<MemRequest> req) {
+                onVaultComplete(v, std::move(req));
+            });
+    }
+}
+
+void
+VipSystem::routeRequest(std::unique_ptr<MemRequest> req, unsigned src_vault)
+{
+    const unsigned home = hmc_.homeVault(req->addr);
+    Packet pkt;
+    pkt.src = src_vault;
+    pkt.dst = home;
+    pkt.srcLane = req->sourcePe % cfg_.pesPerVault;  // the PE's star link
+    pkt.dstLane = TorusNoc::kLanes - 1;              // vault controller
+    // A write carries its data; a read request is command-only (the
+    // 8-byte NoC header covers the address/command fields).
+    pkt.payloadBytes = req->isWrite ? req->bytes : 0;
+    MemRequest *raw = req.release();
+    pkt.onArrive = [this, raw, home](Packet &) {
+        deliverToVault(home, std::unique_ptr<MemRequest>(raw));
+    };
+    noc_.send(std::move(pkt), now_);
+}
+
+void
+VipSystem::deliverToVault(unsigned vault, std::unique_ptr<MemRequest> req)
+{
+    // Preserve arrival order: drain behind anything already parked.
+    if (ingress_[vault].empty() && hmc_.vault(vault).canAccept()) {
+        const bool ok = hmc_.vault(vault).enqueue(std::move(req));
+        vip_assert(ok, "vault rejected a request it could accept");
+        return;
+    }
+    ingress_[vault].push_back(std::move(req));
+}
+
+void
+VipSystem::onVaultComplete(unsigned vault, std::unique_ptr<MemRequest> req)
+{
+    Packet pkt;
+    pkt.src = vault;
+    pkt.dst = vaultOf(req->sourcePe);
+    pkt.srcLane = TorusNoc::kLanes - 1;
+    pkt.dstLane = req->sourcePe % cfg_.pesPerVault;
+    pkt.payloadBytes = req->isWrite ? 0 : req->bytes;
+    MemRequest *raw = req.release();
+    pkt.onArrive = [raw](Packet &p) {
+        std::unique_ptr<MemRequest> owned(raw);
+        owned->completedAt = p.deliveredAt;
+        if (owned->onComplete)
+            owned->onComplete(*owned);
+    };
+    noc_.send(std::move(pkt), now_);
+}
+
+void
+VipSystem::tick()
+{
+    noc_.tick(now_);
+    hmc_.tick(now_);
+    for (unsigned v = 0; v < ingress_.size(); ++v) {
+        while (!ingress_[v].empty() && hmc_.vault(v).canAccept()) {
+            const bool ok = hmc_.vault(v).enqueue(
+                std::move(ingress_[v].front()));
+            vip_assert(ok, "vault rejected a request it could accept");
+            ingress_[v].pop_front();
+        }
+    }
+    for (auto &pe : pes_)
+        pe->tick(now_);
+    ++now_;
+}
+
+bool
+VipSystem::allIdle() const
+{
+    for (const auto &pe : pes_) {
+        if (!pe->idle())
+            return false;
+    }
+    for (const auto &q : ingress_) {
+        if (!q.empty())
+            return false;
+    }
+    return hmc_.idle() && noc_.idle();
+}
+
+Cycles
+VipSystem::run(Cycles max_cycles)
+{
+    const Cycles deadline = max_cycles == 0 ? ~Cycles{0}
+                                            : now_ + max_cycles;
+    std::uint64_t last_progress = ~std::uint64_t{0};
+    Cycles last_check = now_;
+
+    auto progress = [this]() {
+        std::uint64_t p = noc_.delivered();
+        for (const auto &pe : pes_)
+            p += pe->stats().instructions.value();
+        return p;
+    };
+
+    while (now_ < deadline && !allIdle()) {
+        tick();
+        if (now_ - last_check >= cfg_.watchdogCycles) {
+            const std::uint64_t p = progress();
+            if (p == last_progress) {
+                std::ostringstream os;
+                for (unsigned i = 0; i < numPes(); ++i) {
+                    if (!pes_[i]->idle())
+                        os << " pe" << i;
+                }
+                vip_panic("system deadlocked at cycle ", now_,
+                          "; non-idle PEs:", os.str());
+            }
+            last_progress = p;
+            last_check = now_;
+        }
+    }
+    return now_;
+}
+
+double
+VipSystem::achievedBandwidthGBs() const
+{
+    if (now_ == 0)
+        return 0.0;
+    const double seconds = static_cast<double>(now_) * kSecondsPerCycle;
+    return static_cast<double>(hmc_.totalBytesMoved()) / seconds / 1e9;
+}
+
+std::uint64_t
+VipSystem::totalVectorOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &pe : pes_)
+        total += pe->vectorOps();
+    return total;
+}
+
+double
+VipSystem::achievedGops() const
+{
+    if (now_ == 0)
+        return 0.0;
+    const double seconds = static_cast<double>(now_) * kSecondsPerCycle;
+    return static_cast<double>(totalVectorOps()) / seconds / 1e9;
+}
+
+} // namespace vip

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * VipSystem: the complete simulated machine (Fig. 1).
+ *
+ * 32 HMC vaults in an 8x4 grid connected by a 2D torus, four PEs per
+ * vault attached to the vault router in a star, and a global 1.25 GHz
+ * clock. The system owns the request/response plumbing: a PE's memory
+ * transaction travels to its home vault over the NoC (injection port,
+ * torus hops if remote, ejection port), queues at the vault, is
+ * serviced by the DRAM model, and a response travels back before the
+ * PE observes completion.
+ */
+
+#ifndef VIP_SYSTEM_SYSTEM_HH
+#define VIP_SYSTEM_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mem/hmc.hh"
+#include "noc/torus.hh"
+#include "pe/pe.hh"
+#include "sim/stats.hh"
+
+namespace vip {
+
+/** Full-machine configuration (defaults = the paper's system). */
+struct SystemConfig
+{
+    MemConfig mem;
+    unsigned pesPerVault = 4;
+    unsigned nocX = 8;
+    unsigned nocY = 4;
+
+    /** Template for every PE (id/vault fields are filled per PE). */
+    PeConfig pe;
+
+    /** Give up if the machine makes no progress for this many cycles. */
+    Cycles watchdogCycles = 2'000'000;
+};
+
+class VipSystem
+{
+  public:
+    explicit VipSystem(const SystemConfig &cfg);
+
+    unsigned numPes() const { return static_cast<unsigned>(pes_.size()); }
+    Pe &pe(unsigned id) { return *pes_.at(id); }
+    const Pe &pe(unsigned id) const { return *pes_.at(id); }
+
+    /** The vault a PE sits in. */
+    unsigned
+    vaultOf(unsigned pe_id) const
+    {
+        return pe_id / cfg_.pesPerVault;
+    }
+
+    HmcStack &hmc() { return hmc_; }
+    DramStorage &dram() { return hmc_.storage(); }
+    TorusNoc &noc() { return noc_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Start address of vault @p v's local DRAM region. */
+    Addr
+    vaultBase(unsigned v) const
+    {
+        return hmc_.mapper().vaultBase(v);
+    }
+
+    /** Advance the whole machine one cycle. */
+    void tick();
+
+    /**
+     * Run until every PE is idle (halted, no outstanding memory) and
+     * the memory system has drained, or @p max_cycles elapse.
+     * @return total cycles simulated so far.
+     */
+    Cycles run(Cycles max_cycles = 0);
+
+    Cycles now() const { return now_; }
+
+    bool allIdle() const;
+
+    StatGroup &stats() { return statGroup_; }
+
+    /** Achieved DRAM bandwidth in GB/s over the simulated interval. */
+    double achievedBandwidthGBs() const;
+
+    /** Total vector ALU operations across all PEs. */
+    std::uint64_t totalVectorOps() const;
+
+    /** Achieved compute throughput in GOp/s over the interval. */
+    double achievedGops() const;
+
+  private:
+    void routeRequest(std::unique_ptr<MemRequest> req, unsigned src_vault);
+    void deliverToVault(unsigned vault, std::unique_ptr<MemRequest> req);
+    void onVaultComplete(unsigned vault, std::unique_ptr<MemRequest> req);
+
+    SystemConfig cfg_;
+    StatGroup statGroup_;
+    HmcStack hmc_;
+    TorusNoc noc_;
+    std::vector<std::unique_ptr<Pe>> pes_;
+
+    /** Requests that reached their vault but found its queue full. */
+    std::vector<std::deque<std::unique_ptr<MemRequest>>> ingress_;
+
+    Cycles now_ = 0;
+};
+
+} // namespace vip
+
+#endif // VIP_SYSTEM_SYSTEM_HH

@@ -1,0 +1,46 @@
+#include "workloads/fixed.hh"
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+int
+chooseScaleExponent(const std::vector<float> &data, unsigned target_bits)
+{
+    vip_assert(target_bits >= 1 && target_bits <= 15,
+               "target_bits out of range");
+    float max_mag = 0.0f;
+    for (float v : data)
+        max_mag = std::max(max_mag, std::fabs(v));
+    if (max_mag == 0.0f)
+        return 0;
+    // Want max_mag * 2^e < 2^target_bits.
+    const int e = static_cast<int>(
+        std::floor(static_cast<double>(target_bits) -
+                   std::log2(static_cast<double>(max_mag)) - 1e-9));
+    return e;
+}
+
+std::vector<Fx16>
+quantize(const std::vector<float> &data, int exponent)
+{
+    std::vector<Fx16> out(data.size());
+    const double scale = std::ldexp(1.0, exponent);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        out[i] = sat16(static_cast<std::int64_t>(
+            std::llround(static_cast<double>(data[i]) * scale)));
+    }
+    return out;
+}
+
+std::vector<float>
+dequantize(const std::vector<Fx16> &data, int exponent)
+{
+    std::vector<float> out(data.size());
+    const double inv = std::ldexp(1.0, -exponent);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out[i] = static_cast<float>(data[i] * inv);
+    return out;
+}
+
+} // namespace vip

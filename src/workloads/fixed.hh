@@ -1,0 +1,109 @@
+/**
+ * @file
+ * 16-bit fixed-point arithmetic semantics shared by the reference
+ * implementations and (by construction) the simulated VIP datapath.
+ *
+ * The paper's benchmarks use 16-bit dynamic fixed point (Sec. IV). Our
+ * datapath semantics: element-wise operators evaluate in 64-bit
+ * precision, reductions accumulate in 64-bit, and results saturate to
+ * the element width at writeback. Reference code *must* use these
+ * helpers (in the same association order as the generated kernels) so
+ * that simulator outputs can be compared bit-for-bit, which is the
+ * paper's own correctness methodology (Sec. V-A).
+ *
+ * Dynamic fixed point enters through quantization: float inputs are
+ * scaled per-tensor into int16. Because ReLU is positively homogeneous,
+ * per-layer scale factors can be absorbed statically into the next
+ * layer's quantized weights, so no runtime re-scaling instruction is
+ * needed — matching the VIP ISA, which has no vector shift.
+ */
+
+#ifndef VIP_WORKLOADS_FIXED_HH
+#define VIP_WORKLOADS_FIXED_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace vip {
+
+using Fx16 = std::int16_t;
+
+/** Saturate a 64-bit value to int16. */
+inline Fx16
+sat16(std::int64_t v)
+{
+    return static_cast<Fx16>(
+        std::clamp<std::int64_t>(v, INT16_MIN, INT16_MAX));
+}
+
+/** Saturating elementwise add, the semantics of v.v.add[16]. */
+inline Fx16
+addSat(Fx16 a, Fx16 b)
+{
+    return sat16(static_cast<std::int64_t>(a) + b);
+}
+
+inline Fx16
+subSat(Fx16 a, Fx16 b)
+{
+    return sat16(static_cast<std::int64_t>(a) - b);
+}
+
+inline Fx16
+mulSat(Fx16 a, Fx16 b)
+{
+    return sat16(static_cast<std::int64_t>(a) * b);
+}
+
+/**
+ * The semantics of m.v.add.min[16] for one output element: add a
+ * matrix row to a vector and min-reduce, accumulating in 64-bit and
+ * saturating once at writeback (the min-sum BP message update).
+ */
+inline Fx16
+addMinReduce(const Fx16 *row, const Fx16 *vec, unsigned n)
+{
+    std::int64_t acc = INT64_MAX;
+    for (unsigned i = 0; i < n; ++i) {
+        acc = std::min<std::int64_t>(
+            acc, static_cast<std::int64_t>(row[i]) + vec[i]);
+    }
+    return sat16(acc);
+}
+
+/** The semantics of m.v.mul.add[16] for one output element (dot). */
+inline Fx16
+mulAddReduce(const Fx16 *row, const Fx16 *vec, unsigned n)
+{
+    std::int64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i)
+        acc += static_cast<std::int64_t>(row[i]) * vec[i];
+    return sat16(acc);
+}
+
+/** ReLU as executed by v.s.max with a zero scalar. */
+inline Fx16
+reluFx(Fx16 v)
+{
+    return std::max<Fx16>(v, 0);
+}
+
+/**
+ * Quantize a float tensor to int16 with a power-of-two scale chosen so
+ * the largest magnitude fits in @p target_bits (dynamic fixed point).
+ * @return the scale exponent e, with q = round(x * 2^e).
+ */
+int chooseScaleExponent(const std::vector<float> &data,
+                        unsigned target_bits = 14);
+
+/** Quantize with an explicit exponent. */
+std::vector<Fx16> quantize(const std::vector<float> &data, int exponent);
+
+/** Dequantize back to float. */
+std::vector<float> dequantize(const std::vector<Fx16> &data, int exponent);
+
+} // namespace vip
+
+#endif // VIP_WORKLOADS_FIXED_HH

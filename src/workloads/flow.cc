@@ -1,0 +1,119 @@
+#include "workloads/flow.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+FlowPair
+makeSyntheticFlow(unsigned width, unsigned height, unsigned radius,
+                  Rng &rng)
+{
+    vip_assert(radius >= 1 && radius <= 3, "unreasonable search radius");
+    FlowPair pair;
+    pair.width = width;
+    pair.height = height;
+    pair.radius = radius;
+
+    // Random-dot texture, block-correlated so motion is observable.
+    pair.frame0.resize(static_cast<std::size_t>(width) * height);
+    for (auto &v : pair.frame0)
+        v = static_cast<std::uint8_t>(rng.nextBelow(256));
+
+    // Background moves (+1, 0); a foreground rectangle moves (0, +1).
+    const int bg_dx = 1, bg_dy = 0;
+    const int fg_dx = 0, fg_dy = 1;
+    const unsigned rx = width / 4, ry = height / 4;
+    const unsigned rw = width / 2, rh = height / 2;
+
+    pair.groundTruth.resize(pair.frame0.size());
+    pair.frame1.assign(pair.frame0.size(), 0);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            const bool fg = x >= rx && x < rx + rw && y >= ry &&
+                            y < ry + rh;
+            const int dx = fg ? fg_dx : bg_dx;
+            const int dy = fg ? fg_dy : bg_dy;
+            pair.groundTruth[y * width + x] =
+                static_cast<std::uint8_t>(pair.labelOf(dx, dy));
+            const int nx = static_cast<int>(x) + dx;
+            const int ny = static_cast<int>(y) + dy;
+            if (nx >= 0 && ny >= 0 && nx < static_cast<int>(width) &&
+                ny < static_cast<int>(height)) {
+                pair.frame1[static_cast<unsigned>(ny) * width +
+                            static_cast<unsigned>(nx)] =
+                    pair.frame0[y * width + x];
+            }
+        }
+    }
+    return pair;
+}
+
+MrfProblem
+flowMrf(const FlowPair &pair, Fx16 data_tau, Fx16 lambda, Fx16 smooth_tau)
+{
+    const unsigned L = pair.labels();
+    MrfProblem mrf;
+    mrf.width = pair.width;
+    mrf.height = pair.height;
+    mrf.labels = L;
+
+    // Smoothness over Euclidean-ish displacement distance (L1 here):
+    // a genuinely 2D label geometry.
+    mrf.smoothCost.resize(static_cast<std::size_t>(L) * L);
+    for (unsigned a = 0; a < L; ++a) {
+        const auto [ax, ay] = pair.displacement(a);
+        for (unsigned b = 0; b < L; ++b) {
+            const auto [bx, by] = pair.displacement(b);
+            const int dist = std::abs(ax - bx) + std::abs(ay - by);
+            mrf.smoothCost[a * L + b] =
+                std::min<Fx16>(static_cast<Fx16>(lambda * dist),
+                               smooth_tau);
+        }
+    }
+
+    mrf.dataCost.resize(static_cast<std::size_t>(pair.width) *
+                        pair.height * L);
+    for (unsigned y = 0; y < pair.height; ++y) {
+        for (unsigned x = 0; x < pair.width; ++x) {
+            Fx16 *cost = mrf.dataCost.data() + mrf.pixelIndex(x, y);
+            const int ref = pair.frame0[y * pair.width + x];
+            for (unsigned l = 0; l < L; ++l) {
+                const auto [dx, dy] = pair.displacement(l);
+                const int nx = static_cast<int>(x) + dx;
+                const int ny = static_cast<int>(y) + dy;
+                if (nx >= 0 && ny >= 0 &&
+                    nx < static_cast<int>(pair.width) &&
+                    ny < static_cast<int>(pair.height)) {
+                    const int cand =
+                        pair.frame1[static_cast<unsigned>(ny) *
+                                        pair.width +
+                                    static_cast<unsigned>(nx)];
+                    cost[l] = std::min<Fx16>(
+                        static_cast<Fx16>(std::abs(ref - cand) / 8),
+                        data_tau);
+                } else {
+                    cost[l] = data_tau;
+                }
+            }
+        }
+    }
+    return mrf;
+}
+
+double
+flowAccuracy(const FlowPair &pair,
+             const std::vector<std::uint8_t> &labels)
+{
+    vip_assert(labels.size() == pair.groundTruth.size(),
+               "labeling size mismatch");
+    std::size_t good = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        good += labels[i] == pair.groundTruth[i];
+    return static_cast<double>(good) /
+           static_cast<double>(labels.size());
+}
+
+} // namespace vip

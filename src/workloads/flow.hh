@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Optical flow as MRF labeling — the third vision task the paper's
+ * introduction motivates (Sec. II-A: de-noising, depth-from-stereo,
+ * optical flow). Labels enumerate 2D displacements in a small search
+ * window; data costs penalize intensity mismatch between the first
+ * frame's pixel and the displaced pixel of the second frame, and the
+ * usual truncated-linear prior (over displacement distance) favors
+ * smooth motion fields.
+ */
+
+#ifndef VIP_WORKLOADS_FLOW_HH
+#define VIP_WORKLOADS_FLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/mrf.hh"
+
+namespace vip {
+
+/** Two consecutive frames with per-pixel ground-truth motion labels. */
+struct FlowPair
+{
+    unsigned width = 0;
+    unsigned height = 0;
+    unsigned radius = 0;  ///< displacements span [-radius, +radius]^2
+    std::vector<std::uint8_t> frame0;
+    std::vector<std::uint8_t> frame1;
+    std::vector<std::uint8_t> groundTruth;  ///< label per pixel
+
+    unsigned labels() const { return (2 * radius + 1) * (2 * radius + 1); }
+
+    /** Displacement encoded by @p label. */
+    std::pair<int, int>
+    displacement(unsigned label) const
+    {
+        const unsigned side = 2 * radius + 1;
+        return {static_cast<int>(label % side) - static_cast<int>(radius),
+                static_cast<int>(label / side) - static_cast<int>(radius)};
+    }
+
+    /** Label encoding displacement (dx, dy). */
+    unsigned
+    labelOf(int dx, int dy) const
+    {
+        const unsigned side = 2 * radius + 1;
+        return static_cast<unsigned>(dy + static_cast<int>(radius)) * side +
+               static_cast<unsigned>(dx + static_cast<int>(radius));
+    }
+};
+
+/**
+ * Synthesize a textured scene where a rectangular foreground moves by
+ * one displacement and the background by another.
+ */
+FlowPair makeSyntheticFlow(unsigned width, unsigned height,
+                           unsigned radius, Rng &rng);
+
+/**
+ * Build the flow MRF: truncated absolute-difference data costs and a
+ * truncated-linear smoothness over *displacement distance* (so the
+ * matrix is a general L x L table — exactly the case VIP's
+ * programmable m.v.add.min handles and fixed-function BP accelerators
+ * with hardwired 1D priors do not).
+ */
+MrfProblem flowMrf(const FlowPair &pair, Fx16 data_tau, Fx16 lambda,
+                   Fx16 smooth_tau);
+
+/** Fraction of pixels whose decoded displacement is exactly right. */
+double flowAccuracy(const FlowPair &pair,
+                    const std::vector<std::uint8_t> &labels);
+
+} // namespace vip
+
+#endif // VIP_WORKLOADS_FLOW_HH

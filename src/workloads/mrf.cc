@@ -1,0 +1,305 @@
+#include "workloads/mrf.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+std::vector<Fx16>
+truncatedLinearSmoothness(unsigned labels, Fx16 lambda, Fx16 tau)
+{
+    std::vector<Fx16> cost(static_cast<std::size_t>(labels) * labels);
+    for (unsigned i = 0; i < labels; ++i) {
+        for (unsigned j = 0; j < labels; ++j) {
+            const int diff = std::abs(static_cast<int>(i) -
+                                      static_cast<int>(j));
+            cost[i * labels + j] =
+                std::min<Fx16>(static_cast<Fx16>(lambda * diff), tau);
+        }
+    }
+    return cost;
+}
+
+BpState::BpState(const MrfProblem &problem, bool normalize)
+    : problem_(problem), normalize_(normalize)
+{
+    vip_assert(problem.width > 0 && problem.height > 0 &&
+                   problem.labels > 0,
+               "degenerate MRF");
+    vip_assert(problem.dataCost.size() ==
+                   static_cast<std::size_t>(problem.width) *
+                       problem.height * problem.labels,
+               "data cost size mismatch");
+    vip_assert(problem.smoothCost.size() ==
+                   static_cast<std::size_t>(problem.labels) *
+                       problem.labels,
+               "smoothness cost size mismatch");
+    const std::size_t n = static_cast<std::size_t>(problem.width) *
+                          problem.height * problem.labels;
+    for (auto &m : msgs_)
+        m.assign(n, 0);
+}
+
+Fx16 *
+BpState::msgAt(MsgDir d, unsigned x, unsigned y)
+{
+    return msgs_[d].data() + problem_.pixelIndex(x, y);
+}
+
+const Fx16 *
+BpState::msgAt(MsgDir d, unsigned x, unsigned y) const
+{
+    return msgs_[d].data() + problem_.pixelIndex(x, y);
+}
+
+void
+BpState::computeMessage(unsigned x, unsigned y, MsgDir exclude,
+                        Fx16 *out) const
+{
+    const unsigned L = problem_.labels;
+    const Fx16 *data = problem_.dataAt(x, y);
+
+    // theta_hat: data + incoming messages except `exclude`, added in
+    // the fixed order FromLeft, FromRight, FromUp, FromDown — the same
+    // association order the VIP kernel's v.v.add chain uses.
+    Fx16 theta_hat[256];
+    vip_assert(L <= 256, "label count too large for reference buffer");
+    for (unsigned l = 0; l < L; ++l)
+        theta_hat[l] = data[l];
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        if (d == static_cast<unsigned>(exclude))
+            continue;
+        const Fx16 *m = msgAt(static_cast<MsgDir>(d), x, y);
+        for (unsigned l = 0; l < L; ++l)
+            theta_hat[l] = addSat(theta_hat[l], m[l]);
+    }
+
+    // Min-sum reduction against the smoothness matrix (Eq. 1b):
+    // out[l_out] = min_{l_in} (S[l_out][l_in] + theta_hat[l_in]).
+    for (unsigned lo = 0; lo < L; ++lo) {
+        out[lo] = addMinReduce(problem_.smoothCost.data() + lo * L,
+                               theta_hat, L);
+    }
+}
+
+void
+BpState::sweepLane(MsgDir chain_dir, MsgDir exclude, bool chain_first,
+                   unsigned lane, bool vertical, bool forward)
+{
+    const unsigned L = problem_.labels;
+    const unsigned len = vertical ? problem_.height : problem_.width;
+    auto px = [&](unsigned j) {
+        const unsigned s = forward ? j : len - 1 - j;
+        return vertical ? std::pair<unsigned, unsigned>(lane, s)
+                        : std::pair<unsigned, unsigned>(s, lane);
+    };
+
+    // The two cross-direction inputs, in the fixed summation order.
+    MsgDir cross[2];
+    unsigned nc = 0;
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        if (d != static_cast<unsigned>(chain_dir) &&
+            d != static_cast<unsigned>(exclude)) {
+            cross[nc++] = static_cast<MsgDir>(d);
+        }
+    }
+
+    std::vector<Fx16> chain(L), theta(L), next(L);
+    {
+        const auto [x0, y0] = px(0);
+        const Fx16 *src = msgAt(chain_dir, x0, y0);
+        std::copy(src, src + L, chain.begin());
+    }
+
+    const unsigned count = len - 1;
+    for (unsigned j = 0; j < count; ++j) {
+        const auto [x, y] = px(j);
+
+        if (normalize_) {
+            // Broadcast-subtract the anchor min(chain[0..W)): exactly
+            // what the kernel's short m.v.add.min against the zero
+            // matrix followed by v.v.sub computes.
+            Fx16 mn = INT16_MAX;
+            for (unsigned l = 0; l < std::min(L, kBpNormWidth); ++l)
+                mn = std::min(mn, chain[l]);
+            for (unsigned l = 0; l < L; ++l)
+                chain[l] = subSat(chain[l], mn);
+        }
+
+        // Write the (possibly normalized) incoming message back to its
+        // field slot — the kernel's deferred store. j == 0 is the
+        // field's own original value.
+        if (j > 0)
+            std::copy(chain.begin(), chain.end(), msgAt(chain_dir, x, y));
+
+        const Fx16 *data = problem_.dataAt(x, y);
+        if (chain_first) {
+            for (unsigned l = 0; l < L; ++l)
+                theta[l] = addSat(data[l], chain[l]);
+            for (unsigned c = 0; c < 2; ++c) {
+                const Fx16 *m = msgAt(cross[c], x, y);
+                for (unsigned l = 0; l < L; ++l)
+                    theta[l] = addSat(theta[l], m[l]);
+            }
+        } else {
+            const Fx16 *m0 = msgAt(cross[0], x, y);
+            for (unsigned l = 0; l < L; ++l)
+                theta[l] = addSat(data[l], m0[l]);
+            const Fx16 *m1 = msgAt(cross[1], x, y);
+            for (unsigned l = 0; l < L; ++l)
+                theta[l] = addSat(theta[l], m1[l]);
+            for (unsigned l = 0; l < L; ++l)
+                theta[l] = addSat(theta[l], chain[l]);
+        }
+
+        for (unsigned lo = 0; lo < L; ++lo) {
+            next[lo] = addMinReduce(problem_.smoothCost.data() + lo * L,
+                                    theta.data(), L);
+        }
+        chain.swap(next);
+        ++updates_;
+    }
+
+    // The sweep's last output is stored as produced (the kernel's
+    // epilogue store).
+    const auto [fx, fy] = px(count);
+    std::copy(chain.begin(), chain.end(), msgAt(chain_dir, fx, fy));
+}
+
+void
+BpState::sweepRight()
+{
+    for (unsigned y = 0; y < problem_.height; ++y)
+        sweepLane(FromLeft, FromRight, true, y, false, true);
+}
+
+void
+BpState::sweepLeft()
+{
+    for (unsigned y = 0; y < problem_.height; ++y)
+        sweepLane(FromRight, FromLeft, true, y, false, false);
+}
+
+void
+BpState::sweepDown()
+{
+    for (unsigned x = 0; x < problem_.width; ++x)
+        sweepLane(FromUp, FromDown, false, x, true, true);
+}
+
+void
+BpState::sweepUp()
+{
+    for (unsigned x = 0; x < problem_.width; ++x)
+        sweepLane(FromDown, FromUp, false, x, true, false);
+}
+
+void
+BpState::iterate()
+{
+    sweepRight();
+    sweepLeft();
+    sweepDown();
+    sweepUp();
+}
+
+std::vector<std::uint8_t>
+BpState::decode() const
+{
+    const unsigned L = problem_.labels;
+    std::vector<std::uint8_t> labels(
+        static_cast<std::size_t>(problem_.width) * problem_.height);
+
+    for (unsigned y = 0; y < problem_.height; ++y) {
+        for (unsigned x = 0; x < problem_.width; ++x) {
+            const Fx16 *data = problem_.dataAt(x, y);
+            Fx16 best_cost = std::numeric_limits<Fx16>::max();
+            unsigned best = 0;
+            for (unsigned l = 0; l < L; ++l) {
+                Fx16 belief = data[l];
+                for (unsigned d = 0; d < NumMsgDirs; ++d) {
+                    belief = addSat(
+                        belief, msgAt(static_cast<MsgDir>(d), x, y)[l]);
+                }
+                if (belief < best_cost) {
+                    best_cost = belief;
+                    best = l;
+                }
+            }
+            labels[static_cast<std::size_t>(y) * problem_.width + x] =
+                static_cast<std::uint8_t>(best);
+        }
+    }
+    return labels;
+}
+
+std::int64_t
+BpState::energy(const std::vector<std::uint8_t> &labeling) const
+{
+    const unsigned W = problem_.width, H = problem_.height,
+                   L = problem_.labels;
+    vip_assert(labeling.size() == static_cast<std::size_t>(W) * H,
+               "labeling size mismatch");
+    std::int64_t e = 0;
+    for (unsigned y = 0; y < H; ++y) {
+        for (unsigned x = 0; x < W; ++x) {
+            const unsigned l = labeling[y * W + x];
+            e += problem_.dataAt(x, y)[l];
+            if (x + 1 < W) {
+                const unsigned r = labeling[y * W + x + 1];
+                e += problem_.smoothCost[l * L + r];
+            }
+            if (y + 1 < H) {
+                const unsigned d = labeling[(y + 1) * W + x];
+                e += problem_.smoothCost[l * L + d];
+            }
+        }
+    }
+    return e;
+}
+
+MrfProblem
+coarsen(const MrfProblem &fine)
+{
+    MrfProblem coarse;
+    coarse.width = (fine.width + 1) / 2;
+    coarse.height = (fine.height + 1) / 2;
+    coarse.labels = fine.labels;
+    coarse.smoothCost = fine.smoothCost;
+    coarse.dataCost.assign(static_cast<std::size_t>(coarse.width) *
+                               coarse.height * coarse.labels,
+                           0);
+
+    // construct: each coarse pixel's cost is the saturating vector sum
+    // of its (up to) four children — the "adds four vectors" kernel.
+    for (unsigned y = 0; y < fine.height; ++y) {
+        for (unsigned x = 0; x < fine.width; ++x) {
+            Fx16 *dst = coarse.dataCost.data() +
+                        coarse.pixelIndex(x / 2, y / 2);
+            const Fx16 *src = fine.dataAt(x, y);
+            for (unsigned l = 0; l < fine.labels; ++l)
+                dst[l] = addSat(dst[l], src[l]);
+        }
+    }
+    return coarse;
+}
+
+void
+copyMessages(const BpState &coarse, BpState &fine)
+{
+    const MrfProblem &fp = fine.problem();
+    for (unsigned y = 0; y < fp.height; ++y) {
+        for (unsigned x = 0; x < fp.width; ++x) {
+            for (unsigned d = 0; d < NumMsgDirs; ++d) {
+                const Fx16 *src = coarse.msgAt(static_cast<MsgDir>(d),
+                                               x / 2, y / 2);
+                Fx16 *dst = fine.msgAt(static_cast<MsgDir>(d), x, y);
+                std::copy(src, src + fp.labels, dst);
+            }
+        }
+    }
+}
+
+} // namespace vip

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Grid Markov random fields and the reference BP-M implementation
+ * (Sec. II-A).
+ *
+ * The MRF is a 2D grid: each pixel holds an L-entry data-cost vector
+ * and every edge shares one L x L smoothness-cost matrix (we make no
+ * structural assumption about it, exactly as the paper's GPU baseline
+ * does not). Belief propagation passes min-sum messages; BP-M (Tappen
+ * & Freeman) performs four ordered sweeps per iteration — right, left,
+ * down, up — where updates within a sweep consume messages updated
+ * earlier in the same sweep (the strict sequential order of Sec. IV-A;
+ * parallelism exists across the orthogonal dimension).
+ *
+ * All arithmetic uses the shared fixed-point semantics from fixed.hh
+ * in a fixed association order so the simulated kernels reproduce the
+ * reference bit-for-bit.
+ */
+
+#ifndef VIP_WORKLOADS_MRF_HH
+#define VIP_WORKLOADS_MRF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/fixed.hh"
+
+namespace vip {
+
+/** Direction a message *came from*, relative to the receiving pixel. */
+enum MsgDir : unsigned
+{
+    FromLeft = 0,
+    FromRight = 1,
+    FromUp = 2,
+    FromDown = 3,
+    NumMsgDirs = 4,
+};
+
+/** An MRF labeling problem on a W x H grid with L labels. */
+struct MrfProblem
+{
+    unsigned width = 0;
+    unsigned height = 0;
+    unsigned labels = 0;
+
+    /** Data costs, [(y*width + x)*labels + l]. */
+    std::vector<Fx16> dataCost;
+
+    /** Smoothness costs, [l_out*labels + l_in], shared by all edges. */
+    std::vector<Fx16> smoothCost;
+
+    std::size_t
+    pixelIndex(unsigned x, unsigned y) const
+    {
+        return (static_cast<std::size_t>(y) * width + x) * labels;
+    }
+
+    const Fx16 *
+    dataAt(unsigned x, unsigned y) const
+    {
+        return dataCost.data() + pixelIndex(x, y);
+    }
+};
+
+/** Truncated-linear smoothness matrix: S(i,j) = min(lambda*|i-j|, tau). */
+std::vector<Fx16> truncatedLinearSmoothness(unsigned labels, Fx16 lambda,
+                                            Fx16 tau);
+
+/** Elements whose minimum anchors each message normalization. */
+inline constexpr unsigned kBpNormWidth = 4;
+
+/**
+ * Messages + the BP-M schedule for one MRF.
+ *
+ * With @p normalize (the default), every update of a sweep lane
+ * subtracts a per-message anchor — the minimum of the chained
+ * message's first kBpNormWidth elements — from the chained message
+ * before it is used and stored. Min-sum BP is invariant to
+ * per-message constants, so the labeling is unchanged; anchoring a
+ * subset minimum to zero bounds every stored message within the
+ * smoothness truncation's spread, so 16-bit messages never saturate
+ * (without this BP-M's chained updates compound into saturation
+ * within a few iterations).
+ *
+ * The scheme is chosen for the VIP kernel: the ISA has no
+ * scratchpad-to-register path, but a subset minimum can be
+ * *broadcast entirely in vector space* — one short m.v.add.min
+ * against a resident all-zero matrix yields a vector whose every
+ * element is min(chain[0..kBpNormWidth)), ready for v.v.sub. Zero
+ * staleness (delayed-feedback schemes through a DRAM round trip are
+ * unstable), at ~20%% of an update's vector time.
+ */
+class BpState
+{
+  public:
+    explicit BpState(const MrfProblem &problem, bool normalize = true);
+
+    /** One BP-M iteration: right, left, down, up sweeps. */
+    void iterate();
+
+    void sweepRight();
+    void sweepLeft();
+    void sweepDown();
+    void sweepUp();
+
+    /** MAP label per pixel (Eq. 2): argmin of belief, first minimum. */
+    std::vector<std::uint8_t> decode() const;
+
+    /** Total labeling energy of an assignment (for convergence tests). */
+    std::int64_t energy(const std::vector<std::uint8_t> &labeling) const;
+
+    /** Message into pixel (x, y) from direction @p d. */
+    Fx16 *msgAt(MsgDir d, unsigned x, unsigned y);
+    const Fx16 *msgAt(MsgDir d, unsigned x, unsigned y) const;
+
+    const MrfProblem &problem() const { return problem_; }
+
+    /**
+     * Compute one message update into the caller's buffer: the exact
+     * arithmetic (and association order) of Eqs. 1a/1b as the VIP
+     * kernel executes them. Exposed so tests can cross-check kernels
+     * against single updates.
+     *
+     * @param x, y       sending pixel
+     * @param exclude    the direction (into the sender) NOT summed,
+     *                   i.e. where the message is headed
+     * @param out        L-entry output message
+     */
+    void computeMessage(unsigned x, unsigned y, MsgDir exclude,
+                        Fx16 *out) const;
+
+    /** Total message updates performed so far. */
+    std::uint64_t updatesPerformed() const { return updates_; }
+
+  private:
+    /** One lane of a sweep: sequential updates with the chained
+     *  message, stale-min normalization, and field writeback. */
+    void sweepLane(MsgDir chain_dir, MsgDir exclude, bool chain_first,
+                   unsigned lane, bool vertical, bool forward);
+
+    const MrfProblem &problem_;
+    bool normalize_;
+    std::vector<Fx16> msgs_[NumMsgDirs];
+    std::uint64_t updates_ = 0;
+};
+
+/**
+ * Hierarchical BP support (Felzenszwalb & Huttenlocher style,
+ * Sec. VI-A "hierarchical BP-M"):
+ * construct() pools 2x2 neighborhoods of data costs by vector addition
+ * into a quarter-resolution MRF; copyMessages() seeds each fine pixel's
+ * messages with its coarse parent's.
+ */
+MrfProblem coarsen(const MrfProblem &fine);
+void copyMessages(const BpState &coarse, BpState &fine);
+
+} // namespace vip
+
+#endif // VIP_WORKLOADS_MRF_HH

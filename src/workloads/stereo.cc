@@ -1,0 +1,102 @@
+#include "workloads/stereo.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+StereoPair
+makeSyntheticStereo(unsigned width, unsigned height, unsigned max_disp,
+                    Rng &rng)
+{
+    vip_assert(max_disp >= 2 && max_disp <= 64, "unreasonable max_disp");
+    StereoPair pair;
+    pair.width = width;
+    pair.height = height;
+
+    // Ground-truth disparity: background plane plus raised rectangles.
+    pair.groundTruth.assign(static_cast<std::size_t>(width) * height, 1);
+    const unsigned rects = 1 + static_cast<unsigned>(rng.nextBelow(3));
+    for (unsigned r = 0; r < rects; ++r) {
+        const unsigned rw = width / 4 + rng.nextBelow(width / 4 + 1);
+        const unsigned rh = height / 4 + rng.nextBelow(height / 4 + 1);
+        const unsigned rx = rng.nextBelow(width - rw);
+        const unsigned ry = rng.nextBelow(height - rh);
+        const auto disp = static_cast<std::uint8_t>(
+            2 + rng.nextBelow(max_disp - 2));
+        for (unsigned y = ry; y < ry + rh; ++y) {
+            for (unsigned x = rx; x < rx + rw; ++x)
+                pair.groundTruth[y * width + x] = disp;
+        }
+    }
+
+    // Random-dot texture seen by the left eye; the right eye sees it
+    // shifted by the local disparity.
+    pair.left.resize(static_cast<std::size_t>(width) * height);
+    for (auto &v : pair.left)
+        v = static_cast<std::uint8_t>(rng.nextBelow(256));
+
+    pair.right.assign(static_cast<std::size_t>(width) * height, 0);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            const unsigned d = pair.groundTruth[y * width + x];
+            if (x >= d)
+                pair.right[y * width + x - d] = pair.left[y * width + x];
+        }
+    }
+    return pair;
+}
+
+MrfProblem
+stereoMrf(const StereoPair &pair, unsigned max_disp, Fx16 data_tau,
+          Fx16 lambda, Fx16 smooth_tau)
+{
+    MrfProblem mrf;
+    mrf.width = pair.width;
+    mrf.height = pair.height;
+    mrf.labels = max_disp;
+    mrf.smoothCost = truncatedLinearSmoothness(max_disp, lambda,
+                                               smooth_tau);
+    mrf.dataCost.resize(static_cast<std::size_t>(pair.width) *
+                        pair.height * max_disp);
+
+    for (unsigned y = 0; y < pair.height; ++y) {
+        for (unsigned x = 0; x < pair.width; ++x) {
+            Fx16 *cost = mrf.dataCost.data() + mrf.pixelIndex(x, y);
+            const int ref = pair.left[y * pair.width + x];
+            for (unsigned l = 0; l < max_disp; ++l) {
+                if (x >= l) {
+                    const int cand =
+                        pair.right[y * pair.width + x - l];
+                    cost[l] = std::min<Fx16>(
+                        static_cast<Fx16>(std::abs(ref - cand) / 8),
+                        data_tau);
+                } else {
+                    cost[l] = data_tau;  // occluded: max cost
+                }
+            }
+        }
+    }
+    return mrf;
+}
+
+double
+disparityAccuracy(const StereoPair &pair,
+                  const std::vector<std::uint8_t> &labels,
+                  unsigned tolerance)
+{
+    vip_assert(labels.size() == pair.groundTruth.size(),
+               "labeling size mismatch");
+    std::size_t good = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const int diff = static_cast<int>(labels[i]) -
+                         static_cast<int>(pair.groundTruth[i]);
+        if (static_cast<unsigned>(std::abs(diff)) <= tolerance)
+            ++good;
+    }
+    return static_cast<double>(good) / static_cast<double>(labels.size());
+}
+
+} // namespace vip

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Depth-from-stereo workload synthesis (the paper's motivating PGM
+ * application, Sec. II-A).
+ *
+ * The paper uses full-HD stereo video; we have no camera footage, so
+ * we synthesize random-dot stereograms with a known ground-truth
+ * disparity field — planes and raised rectangles — which exercises the
+ * identical BP code path and lets tests measure labeling quality
+ * against ground truth.
+ */
+
+#ifndef VIP_WORKLOADS_STEREO_HH
+#define VIP_WORKLOADS_STEREO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/mrf.hh"
+
+namespace vip {
+
+/** A rectified stereo pair with known ground truth. */
+struct StereoPair
+{
+    unsigned width = 0;
+    unsigned height = 0;
+    std::vector<std::uint8_t> left;
+    std::vector<std::uint8_t> right;
+    std::vector<std::uint8_t> groundTruth;  ///< disparity per pixel
+};
+
+/**
+ * Random-dot stereogram: a textured background at disparity
+ * @p background plus raised rectangles at larger disparities (up to
+ * @p max_disp - 1).
+ */
+StereoPair makeSyntheticStereo(unsigned width, unsigned height,
+                               unsigned max_disp, Rng &rng);
+
+/**
+ * Build the MRF for @p pair: L = max_disp labels, data cost =
+ * truncated absolute difference min(|left(x,y) - right(x-l,y)|, tau),
+ * truncated-linear smoothness.
+ */
+MrfProblem stereoMrf(const StereoPair &pair, unsigned max_disp,
+                     Fx16 data_tau, Fx16 lambda, Fx16 smooth_tau);
+
+/** Fraction of pixels labeled within @p tolerance of ground truth. */
+double disparityAccuracy(const StereoPair &pair,
+                         const std::vector<std::uint8_t> &labels,
+                         unsigned tolerance = 1);
+
+} // namespace vip
+
+#endif // VIP_WORKLOADS_STEREO_HH

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Advanced integration tests: the ARC-covers-vector interlock mode,
+ * multi-vault execution over the torus, seeded (hierarchical) BP,
+ * shallow software-pipeline variants, large filter groups, and direct
+ * unit tests of the scratchpad and ARC structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "kernels/bp_kernel.hh"
+#include "kernels/conv_kernel.hh"
+#include "kernels/layout.hh"
+#include "kernels/runner.hh"
+#include "pe/arc.hh"
+#include "pe/scratchpad.hh"
+#include "sim/rng.hh"
+#include "workloads/nn.hh"
+
+namespace vip {
+namespace {
+
+MrfProblem
+makeProblem(unsigned w, unsigned h, unsigned labels, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MrfProblem p;
+    p.width = w;
+    p.height = h;
+    p.labels = labels;
+    p.smoothCost = truncatedLinearSmoothness(labels, 3, 12);
+    p.dataCost.resize(static_cast<std::size_t>(w) * h * labels);
+    for (auto &c : p.dataCost)
+        c = static_cast<Fx16>(rng.nextBelow(25));
+    return p;
+}
+
+TEST(ArcCoversVector, MakesUnscheduledCodeHazardFree)
+{
+    // The short-mul-into-add sequence that IS a hazard on the baseline
+    // machine (see pe_test) becomes a stall instead when the ARC also
+    // interlocks the vector pipe — correct results, zero hazards.
+    for (bool covered : {false, true}) {
+        SystemConfig cfg = makeSystemConfig(1, 1);
+        cfg.pe.arcCoversVector = covered;
+        VipSystem sys(cfg);
+        for (unsigned i = 0; i < 4; ++i)
+            sys.pe(0).scratchpad().store<Fx16>(i * 2,
+                                               static_cast<Fx16>(i + 2));
+        AsmBuilder b;
+        b.movImm(1, 4);
+        b.setVl(1);
+        b.movImm(2, 0);
+        b.movImm(3, 64);
+        b.movImm(4, 128);
+        b.vv(VecOp::Mul, 3, 2, 2);
+        b.vv(VecOp::Add, 4, 3, 3);
+        b.halt();
+        sys.pe(0).loadProgram(b.finish());
+        sys.run(1'000'000);
+        ASSERT_TRUE(sys.allIdle());
+        for (unsigned i = 0; i < 4; ++i) {
+            const int v = (i + 2) * (i + 2);
+            EXPECT_EQ(sys.pe(0).scratchpad().load<Fx16>(128 + 2 * i),
+                      2 * v);
+        }
+        if (covered) {
+            EXPECT_EQ(sys.pe(0).stats().timingHazards.value(), 0u);
+            EXPECT_GT(sys.pe(0).stats().stallArc.value(), 0u);
+        } else {
+            EXPECT_GT(sys.pe(0).stats().timingHazards.value(), 0u);
+        }
+    }
+}
+
+TEST(ArcCoversVector, BpKernelStaysBitExact)
+{
+    const unsigned W = 10, H = 8, L = 8;
+    MrfProblem problem = makeProblem(W, H, L, 31);
+    BpState ref(problem);
+    ref.sweepDown();
+
+    SystemConfig cfg = makeSystemConfig(1, 1);
+    cfg.pe.arcCoversVector = true;
+    cfg.pe.strictHazards = true;
+    VipSystem sys(cfg);
+    MrfDramLayout layout(sys.vaultBase(0), W, H, L);
+    layout.upload(problem, sys.dram());
+    sys.pe(0).loadProgram(genBpSweep(
+        layout, BpVariant{},
+        BpSweepJob{SweepDir::Down, 0, W}));
+    sys.run(20'000'000);
+    ASSERT_TRUE(sys.allIdle());
+
+    BpState got(problem);
+    layout.downloadMessages(got, sys.dram());
+    for (unsigned y = 0; y < H; ++y) {
+        for (unsigned x = 0; x < W; ++x) {
+            for (unsigned l = 0; l < L; ++l) {
+                ASSERT_EQ(ref.msgAt(FromUp, x, y)[l],
+                          got.msgAt(FromUp, x, y)[l]);
+            }
+        }
+    }
+    EXPECT_EQ(sys.pe(0).stats().timingHazards.value(), 0u);
+}
+
+TEST(MultiVault, BpIterationAcrossTwoVaults)
+{
+    // Eight PEs in two vaults cooperate on one tile that lives in
+    // vault 0: vault 1's PEs fetch everything over the torus. The
+    // result must still be bit-exact — this exercises remote requests,
+    // responses, and the barrier across vaults.
+    const unsigned W = 16, H = 12, L = 8, iterations = 2;
+    MrfProblem problem = makeProblem(W, H, L, 32);
+    BpState ref(problem);
+    for (unsigned i = 0; i < iterations; ++i)
+        ref.iterate();
+
+    SystemConfig cfg = makeSystemConfig(2, 4);
+    cfg.pe.strictHazards = true;
+    VipSystem sys(cfg);
+    MrfDramLayout layout(sys.vaultBase(0), W, H, L);
+    layout.upload(problem, sys.dram());
+    const Addr flags = layout.end() + 64;
+
+    const unsigned num_pes = 8;
+    for (unsigned pe = 0; pe < num_pes; ++pe) {
+        auto slice = [&](unsigned lanes) {
+            const unsigned per = (lanes + num_pes - 1) / num_pes;
+            const unsigned b = std::min(lanes, pe * per);
+            return std::make_pair(b, std::min(lanes, b + per));
+        };
+        const auto [hb, he] = slice(H);
+        const auto [vb, ve] = slice(W);
+        BpSweepJob jobs[4] = {{SweepDir::Right, hb, he},
+                              {SweepDir::Left, hb, he},
+                              {SweepDir::Down, vb, ve},
+                              {SweepDir::Up, vb, ve}};
+        sys.pe(pe).loadProgram(genBpIterations(layout, BpVariant{}, jobs,
+                                               iterations, flags, pe,
+                                               num_pes));
+    }
+    sys.run(100'000'000);
+    ASSERT_TRUE(sys.allIdle());
+
+    BpState got(problem);
+    layout.downloadMessages(got, sys.dram());
+    EXPECT_EQ(ref.decode(), got.decode());
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        for (unsigned y = 0; y < H; ++y) {
+            for (unsigned x = 0; x < W; ++x) {
+                for (unsigned l = 0; l < L; ++l) {
+                    ASSERT_EQ(ref.msgAt(static_cast<MsgDir>(d), x, y)[l],
+                              got.msgAt(static_cast<MsgDir>(d), x, y)[l])
+                        << d << " " << x << " " << y << " " << l;
+                }
+            }
+        }
+    }
+    // The remote vault's PEs really did work through the torus.
+    EXPECT_GT(sys.noc().delivered(), 100u);
+}
+
+TEST(HierarchicalBp, SimulatedCoarseToFineMatchesReference)
+{
+    // The full hierarchical flow of Sec. VI-A with both BP phases on
+    // the simulator: coarse BP-M, host-side construct/copy (pure data
+    // movement), fine BP-M seeded with the coarse messages.
+    const unsigned W = 12, H = 8, L = 4;
+    MrfProblem fine_p = makeProblem(W, H, L, 33);
+    const MrfProblem coarse_p = coarsen(fine_p);
+
+    // Reference flow.
+    BpState ref_coarse(coarse_p);
+    ref_coarse.iterate();
+    BpState ref_fine(fine_p);
+    copyMessages(ref_coarse, ref_fine);
+    ref_fine.iterate();
+
+    // Simulated flow (coarse).
+    SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.pe.strictHazards = true;
+    VipSystem sys(cfg);
+    MrfDramLayout c_layout(sys.vaultBase(0), coarse_p.width,
+                           coarse_p.height, L);
+    MrfDramLayout f_layout(c_layout.end() + 64, W, H, L);
+    const Addr flags = f_layout.end() + 64;
+    c_layout.upload(coarse_p, sys.dram());
+    f_layout.upload(fine_p, sys.dram());
+
+    auto run_phase = [&](const MrfDramLayout &layout, unsigned width,
+                         unsigned height, Addr flag_base) {
+        for (unsigned pe = 0; pe < 4; ++pe) {
+            auto slice = [&](unsigned lanes) {
+                const unsigned per = (lanes + 3) / 4;
+                const unsigned b = std::min(lanes, pe * per);
+                return std::make_pair(b, std::min(lanes, b + per));
+            };
+            const auto [hb, he] = slice(height);
+            const auto [vb, ve] = slice(width);
+            BpSweepJob jobs[4] = {{SweepDir::Right, hb, he},
+                                  {SweepDir::Left, hb, he},
+                                  {SweepDir::Down, vb, ve},
+                                  {SweepDir::Up, vb, ve}};
+            sys.pe(pe).loadProgram(genBpIterations(
+                layout, BpVariant{}, jobs, 1, flag_base, pe, 4));
+        }
+        sys.run(100'000'000);
+        ASSERT_TRUE(sys.allIdle());
+    };
+
+    run_phase(c_layout, coarse_p.width, coarse_p.height, flags);
+
+    // Copy phase (host-side data movement, like construct).
+    BpState sim_coarse(coarse_p);
+    c_layout.downloadMessages(sim_coarse, sys.dram());
+    BpState seeded(fine_p);
+    copyMessages(sim_coarse, seeded);
+    f_layout.uploadMessages(seeded, sys.dram());
+
+    run_phase(f_layout, W, H, flags + 4096);
+
+    BpState got(fine_p);
+    f_layout.downloadMessages(got, sys.dram());
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        for (unsigned y = 0; y < H; ++y) {
+            for (unsigned x = 0; x < W; ++x) {
+                for (unsigned l = 0; l < L; ++l) {
+                    ASSERT_EQ(ref_fine.msgAt(static_cast<MsgDir>(d), x,
+                                             y)[l],
+                              got.msgAt(static_cast<MsgDir>(d), x, y)[l]);
+                }
+            }
+        }
+    }
+}
+
+TEST(BpVariants, ShallowPrefetchDepthsStayBitExact)
+{
+    const unsigned W = 10, H = 8, L = 8;
+    MrfProblem problem = makeProblem(W, H, L, 34);
+    BpState ref(problem);
+    ref.sweepRight();
+
+    for (unsigned depth : {1u, 2u, 3u}) {
+        SystemConfig cfg = makeSystemConfig(1, 1);
+        cfg.pe.strictHazards = true;
+        VipSystem sys(cfg);
+        MrfDramLayout layout(sys.vaultBase(0), W, H, L);
+        layout.upload(problem, sys.dram());
+        BpVariant variant;
+        variant.prefetchDepth = depth;
+        sys.pe(0).loadProgram(genBpSweep(
+            layout, variant,
+            BpSweepJob{SweepDir::Right, 0, H}));
+        sys.run(20'000'000);
+        ASSERT_TRUE(sys.allIdle()) << "depth " << depth;
+        BpState got(problem);
+        layout.downloadMessages(got, sys.dram());
+        for (unsigned y = 0; y < H; ++y) {
+            for (unsigned x = 0; x < W; ++x) {
+                for (unsigned l = 0; l < L; ++l) {
+                    ASSERT_EQ(ref.msgAt(FromLeft, x, y)[l],
+                              got.msgAt(FromLeft, x, y)[l])
+                        << "depth " << depth;
+                }
+            }
+        }
+    }
+}
+
+TEST(ConvKernel, LargeFilterGroupFirstLayerStyle)
+{
+    // c1_1-style: 3 input channels, all 32 filters of a group resident
+    // (exercises the wide parity accumulators).
+    const unsigned C = 3, H = 6, W = 8, OC = 32, K = 3;
+    Rng rng(35);
+    FeatureMap in(C, H, W);
+    for (auto &v : in.data)
+        v = static_cast<Fx16>(rng.nextRange(-30, 30));
+    const auto filters = randomWeights(
+        static_cast<std::size_t>(OC) * C * K * K, rng, 4);
+    const auto bias = randomWeights(OC, rng, 30);
+    const FeatureMap want = convLayerVip(in, filters, bias, OC, K, C);
+
+    ASSERT_GE(convFiltersResident(C), OC);
+
+    SystemConfig cfg = makeSystemConfig(1, 1);
+    cfg.pe.strictHazards = true;
+    VipSystem sys(cfg);
+    FmapDramLayout in_lay(sys.vaultBase(0), C, H, W, 1, true);
+    FmapDramLayout out_lay(in_lay.end() + 4096, OC, H, W, 0, true);
+    const Addr filt = out_lay.end() + 4096;
+    const auto blob = packFilters(filters, C, K, 0, OC, 0, C);
+    sys.dram().write(filt, blob.data(), blob.size() * 2);
+    const Addr bias_addr = filt + blob.size() * 2 + 64;
+    sys.dram().write(bias_addr, bias.data(), bias.size() * 2);
+    in_lay.upload(in, sys.dram());
+
+    ConvJob job;
+    job.in = &in_lay;
+    job.out = &out_lay;
+    job.filterBlob = filt;
+    job.biasBlob = bias_addr;
+    job.zShard = C;
+    job.filters = OC;
+    job.rowBegin = 0;
+    job.rowEnd = H;
+    job.width = W;
+    sys.pe(0).loadProgram(genConvPass(job));
+    sys.run(50'000'000);
+    ASSERT_TRUE(sys.allIdle());
+    EXPECT_EQ(want.data, out_lay.download(sys.dram()).data);
+    EXPECT_EQ(sys.pe(0).stats().timingHazards.value(), 0u);
+}
+
+TEST(Scratchpad, ReadyTimeTracking)
+{
+    Scratchpad sp;
+    EXPECT_EQ(sp.readyAt(0, 64), 0u);
+    sp.markReadyAt(10, 4, 100);
+    EXPECT_EQ(sp.readyAt(10, 4), 100u);
+    EXPECT_EQ(sp.readyAt(0, 10), 0u);
+    EXPECT_TRUE(sp.hazardousRead(8, 8, 50));
+    EXPECT_FALSE(sp.hazardousRead(8, 8, 100));
+    // Streamed marks ramp by 8 bytes per cycle.
+    sp.markReadyStream(100, 32, 200);
+    EXPECT_EQ(sp.readyAt(100, 1), 200u);
+    EXPECT_EQ(sp.readyAt(124, 1), 203u);
+    // A streamed read starting at the same base chases the writer.
+    EXPECT_FALSE(sp.hazardousStreamRead(100, 32, 200));
+    EXPECT_TRUE(sp.hazardousStreamRead(100, 32, 199));
+}
+
+TEST(Arc, AllocateOverlapClear)
+{
+    ArcTable arc(3);
+    EXPECT_EQ(arc.capacity(), 3u);
+    const int a = arc.allocate(0, 32);
+    const int b = arc.allocate(64, 128);
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, 0);
+    EXPECT_TRUE(arc.overlaps(16, 48));
+    EXPECT_TRUE(arc.overlaps(100, 101));
+    EXPECT_FALSE(arc.overlaps(32, 64));
+    EXPECT_FALSE(arc.overlaps(128, 256));
+    const int c = arc.allocate(200, 201);
+    EXPECT_GE(c, 0);
+    EXPECT_TRUE(arc.full());
+    EXPECT_EQ(arc.allocate(300, 301), -1);
+    arc.clear(b);
+    EXPECT_FALSE(arc.overlaps(64, 128));
+    EXPECT_FALSE(arc.full());
+    EXPECT_EQ(arc.liveCount(), 2u);
+}
+
+} // namespace
+} // namespace vip

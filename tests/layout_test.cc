@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the host/kernel shared DRAM layouts and filter packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/conv_kernel.hh"
+#include "kernels/layout.hh"
+#include <set>
+#include "sim/rng.hh"
+
+namespace vip {
+namespace {
+
+TEST(MrfLayout, MessagesRoundTrip)
+{
+    MrfProblem p;
+    p.width = 7;
+    p.height = 5;
+    p.labels = 4;
+    p.smoothCost.assign(16, 1);
+    p.dataCost.assign(7 * 5 * 4, 2);
+
+    DramStorage dram;
+    MrfDramLayout layout(1 << 20, 7, 5, 4);
+    layout.upload(p, dram);
+
+    Rng rng(10);
+    BpState bp(p);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        for (unsigned y = 0; y < 5; ++y) {
+            for (unsigned x = 0; x < 7; ++x) {
+                for (unsigned l = 0; l < 4; ++l) {
+                    bp.msgAt(static_cast<MsgDir>(d), x, y)[l] =
+                        static_cast<Fx16>(rng.nextRange(-99, 99));
+                }
+            }
+        }
+    }
+    layout.uploadMessages(bp, dram);
+
+    BpState back(p);
+    layout.downloadMessages(back, dram);
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        for (unsigned y = 0; y < 5; ++y) {
+            for (unsigned x = 0; x < 7; ++x) {
+                for (unsigned l = 0; l < 4; ++l) {
+                    EXPECT_EQ(back.msgAt(static_cast<MsgDir>(d), x, y)[l],
+                              bp.msgAt(static_cast<MsgDir>(d), x, y)[l]);
+                }
+            }
+        }
+    }
+}
+
+TEST(MrfLayout, FieldsDoNotOverlapAndPadIsZero)
+{
+    DramStorage dram;
+    MrfDramLayout layout(0, 6, 4, 8);
+    // Distinct addresses for every (field, pixel).
+    std::set<Addr> seen;
+    for (unsigned y = 0; y < 4; ++y) {
+        for (unsigned x = 0; x < 6; ++x) {
+            EXPECT_TRUE(seen.insert(layout.dataAddr(x, y)).second);
+            for (unsigned d = 0; d < NumMsgDirs; ++d) {
+                EXPECT_TRUE(
+                    seen.insert(layout.msgAddr(static_cast<MsgDir>(d),
+                                               x, y))
+                        .second);
+            }
+        }
+    }
+    EXPECT_LT(layout.smoothAddr(), layout.end());
+    EXPECT_GE(layout.smoothAddr(), *seen.rbegin());
+    // Prefetch pad: 4 rows/columns on each side stay inside the
+    // footprint.
+    const std::uint64_t row = layout.rowStrideBytes();
+    EXPECT_GE(layout.dataAddr(0, 0), 4 * row);
+}
+
+class FmapLayoutOrder : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(FmapLayoutOrder, RoundTripsAndStrides)
+{
+    const bool col_major = GetParam();
+    DramStorage dram;
+    FmapDramLayout layout(4096, 6, 5, 7, 1, col_major);
+
+    Rng rng(11);
+    FeatureMap f(6, 5, 7);
+    for (auto &v : f.data)
+        v = static_cast<Fx16>(rng.nextRange(-500, 500));
+    layout.upload(f, dram);
+    const FeatureMap back = layout.download(dram);
+    EXPECT_EQ(back.data, f.data);
+
+    EXPECT_EQ(layout.at(1, 0) - layout.at(0, 0),
+              layout.colStrideBytes());
+    EXPECT_EQ(layout.at(0, 1) - layout.at(0, 0),
+              layout.rowStrideBytes());
+    EXPECT_EQ(layout.at(0, 0, 1) - layout.at(0, 0), 2u);
+    if (col_major) {
+        EXPECT_EQ(layout.rowStrideBytes(), 6u * 2);  // channels * 2
+    } else {
+        EXPECT_EQ(layout.colStrideBytes(), 6u * 2);
+    }
+    // Halo cells are addressable and zero.
+    EXPECT_EQ(dram.load<Fx16>(layout.atSigned(-1, -1)), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, FmapLayoutOrder,
+                         ::testing::Values(false, true));
+
+TEST(PackFilters, MatchesDirectIndexing)
+{
+    const unsigned OC = 4, IC = 6, K = 3;
+    std::vector<Fx16> filters(OC * IC * K * K);
+    for (unsigned i = 0; i < filters.size(); ++i)
+        filters[i] = static_cast<Fx16>(i);
+
+    const unsigned F = 2, z_off = 2, zs = 4, f_off = 1;
+    const auto blob = packFilters(filters, IC, K, f_off, F, z_off, zs);
+    ASSERT_EQ(blob.size(), static_cast<std::size_t>(K) * F * K * zs);
+
+    // blob[kx][f][ky][zc] == filters[f_off+f][z_off+zc][ky][kx]
+    std::size_t idx = 0;
+    for (unsigned kx = 0; kx < K; ++kx) {
+        for (unsigned f = 0; f < F; ++f) {
+            for (unsigned ky = 0; ky < K; ++ky) {
+                for (unsigned zc = 0; zc < zs; ++zc) {
+                    const unsigned oc = f_off + f, ic = z_off + zc;
+                    const Fx16 want =
+                        filters[((static_cast<std::size_t>(oc) * IC +
+                                  ic) *
+                                     K +
+                                 ky) *
+                                    K +
+                                kx];
+                    EXPECT_EQ(blob[idx], want)
+                        << "kx=" << kx << " f=" << f << " ky=" << ky
+                        << " zc=" << zc;
+                    ++idx;
+                }
+            }
+        }
+    }
+}
+
+TEST(BiasRow, RepeatsChannelVector)
+{
+    const std::vector<Fx16> bias = {10, 20, 30};
+    const auto row = makeBiasRow(bias, 9);
+    ASSERT_EQ(row.size(), 9u);
+    for (unsigned i = 0; i < 9; ++i)
+        EXPECT_EQ(row[i], bias[i % 3]);
+}
+
+} // namespace
+} // namespace vip

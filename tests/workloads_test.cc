@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Tests for the reference workloads: fixed-point semantics, the MRF /
+ * BP-M reference, hierarchical BP, stereo synthesis, and the VGG layer
+ * tables (including the paper's headline operation counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "workloads/fixed.hh"
+#include "workloads/mrf.hh"
+#include "workloads/nn.hh"
+#include "workloads/stereo.hh"
+
+namespace vip {
+namespace {
+
+TEST(Fixed, SaturatingPrimitives)
+{
+    EXPECT_EQ(sat16(40000), 32767);
+    EXPECT_EQ(sat16(-40000), -32768);
+    EXPECT_EQ(sat16(123), 123);
+    EXPECT_EQ(addSat(30000, 30000), 32767);
+    EXPECT_EQ(addSat(-30000, -30000), -32768);
+    EXPECT_EQ(subSat(-30000, 30000), -32768);
+    EXPECT_EQ(mulSat(1000, 1000), 32767);
+    EXPECT_EQ(mulSat(100, -100), -10000);
+    EXPECT_EQ(reluFx(-5), 0);
+    EXPECT_EQ(reluFx(5), 5);
+}
+
+TEST(Fixed, ReductionsAccumulateIn64Bit)
+{
+    // Intermediate sums may exceed int16; only writeback saturates.
+    const Fx16 row[4] = {30000, 30000, -30000, -29000};
+    const Fx16 vec[4] = {1, 1, 1, 1};
+    EXPECT_EQ(mulAddReduce(row, vec, 4), 1000);
+    const Fx16 row2[2] = {20000, -20000};
+    const Fx16 vec2[2] = {20000, 20000};
+    // 4e8 - 4e8 = 0 without intermediate clamping.
+    EXPECT_EQ(mulAddReduce(row2, vec2, 2), 0);
+    const Fx16 rowm[3] = {5, -3, 7};
+    const Fx16 vecm[3] = {10, 10, 10};
+    EXPECT_EQ(addMinReduce(rowm, vecm, 3), 7);
+}
+
+TEST(Fixed, QuantizeRoundTripsWithinOneLsb)
+{
+    Rng rng(21);
+    std::vector<float> data(256);
+    for (auto &v : data) {
+        v = static_cast<float>(rng.nextDouble() * 20.0 - 10.0);
+    }
+    const int e = chooseScaleExponent(data);
+    const auto q = quantize(data, e);
+    const auto back = dequantize(q, e);
+    const float lsb = std::ldexp(1.0f, -e);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_NEAR(back[i], data[i], lsb);
+}
+
+TEST(Fixed, ScaleExponentKeepsMagnitudeInBits)
+{
+    const std::vector<float> data = {0.001f, -3.75f, 2.0f};
+    const int e = chooseScaleExponent(data, 14);
+    const auto q = quantize(data, e);
+    for (auto v : q)
+        EXPECT_LT(std::abs(v), 1 << 14);
+    // And the next exponent would overflow the target.
+    const auto q2 = quantize(data, e + 2);
+    bool over = false;
+    for (auto v : q2)
+        over = over || std::abs(v) >= (1 << 14);
+    EXPECT_TRUE(over);
+}
+
+TEST(Smoothness, TruncatedLinearShape)
+{
+    const auto s = truncatedLinearSmoothness(8, 3, 10);
+    ASSERT_EQ(s.size(), 64u);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(s[i * 8 + i], 0);  // zero on the diagonal
+        for (unsigned j = 0; j < 8; ++j) {
+            EXPECT_EQ(s[i * 8 + j], s[j * 8 + i]);  // symmetric
+            EXPECT_LE(s[i * 8 + j], 10);            // truncated
+        }
+    }
+    EXPECT_EQ(s[0 * 8 + 1], 3);
+    EXPECT_EQ(s[0 * 8 + 7], 10);
+}
+
+MrfProblem
+smallProblem(unsigned w, unsigned h, unsigned labels, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MrfProblem p;
+    p.width = w;
+    p.height = h;
+    p.labels = labels;
+    p.smoothCost = truncatedLinearSmoothness(labels, 2, 8);
+    p.dataCost.resize(static_cast<std::size_t>(w) * h * labels);
+    for (auto &c : p.dataCost)
+        c = static_cast<Fx16>(rng.nextBelow(20));
+    return p;
+}
+
+TEST(Bp, MessageUpdateCountsMatchPaper)
+{
+    // 4 * Ix * Iy updates per iteration (Sec. II-A).
+    MrfProblem p = smallProblem(10, 6, 4, 1);
+    BpState bp(p);
+    bp.iterate();
+    // Each sweep skips one border line: 4*W*H - (2H + 2W) exactly.
+    EXPECT_EQ(bp.updatesPerformed(),
+              2ull * (p.width - 1) * p.height +
+                  2ull * (p.height - 1) * p.width);
+}
+
+/** A structured problem: noisy observations of a piecewise-constant
+ *  image, where smoothing genuinely lowers the labeling energy. */
+MrfProblem
+structuredProblem(unsigned w, unsigned h, unsigned labels,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    MrfProblem p;
+    p.width = w;
+    p.height = h;
+    p.labels = labels;
+    p.smoothCost = truncatedLinearSmoothness(labels, 4, 14);
+    p.dataCost.resize(static_cast<std::size_t>(w) * h * labels);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            unsigned truth = x < w / 2 ? 1 : labels - 2;
+            if (rng.nextBelow(100) < 25)
+                truth = rng.nextBelow(labels);  // noise
+            Fx16 *c = p.dataCost.data() + p.pixelIndex(x, y);
+            for (unsigned l = 0; l < labels; ++l) {
+                const int d = std::abs(static_cast<int>(l) -
+                                       static_cast<int>(truth));
+                c[l] = static_cast<Fx16>(std::min(3 * d * d, 40));
+            }
+        }
+    }
+    return p;
+}
+
+TEST(Bp, ImprovesLabelingEnergy)
+{
+    MrfProblem p = structuredProblem(16, 12, 8, 2);
+    BpState bp(p);
+    const auto e0 = bp.energy(bp.decode());
+    for (int i = 0; i < 4; ++i)
+        bp.iterate();
+    const auto e4 = bp.energy(bp.decode());
+    EXPECT_LT(e4, e0);
+}
+
+TEST(Bp, NormalizationKeepsMessagesBounded)
+{
+    // The reason BpState normalizes: without it, 16-bit messages
+    // saturate within a few iterations (see UniformCosts... below);
+    // with it they stay bounded over many.
+    MrfProblem p = structuredProblem(16, 12, 8, 9);
+    BpState bp(p);
+    for (int i = 0; i < 12; ++i)
+        bp.iterate();
+    Fx16 max_mag = 0;
+    for (unsigned d = 0; d < NumMsgDirs; ++d) {
+        for (unsigned y = 0; y < p.height; ++y) {
+            for (unsigned x = 0; x < p.width; ++x) {
+                for (unsigned l = 0; l < p.labels; ++l) {
+                    max_mag = std::max<Fx16>(
+                        max_mag,
+                        std::abs(bp.msgAt(static_cast<MsgDir>(d), x,
+                                          y)[l]));
+                }
+            }
+        }
+    }
+    EXPECT_LT(max_mag, 2000);
+
+    // And the unnormalized variant saturates on the same problem.
+    BpState raw(p, /*normalize=*/false);
+    for (int i = 0; i < 12; ++i)
+        raw.iterate();
+    Fx16 raw_max = 0;
+    for (unsigned l = 0; l < p.labels; ++l) {
+        raw_max = std::max<Fx16>(
+            raw_max, std::abs(raw.msgAt(FromLeft, 8, 6)[l]));
+    }
+    EXPECT_EQ(raw_max, 32767);
+}
+
+TEST(Bp, UniformCostsYieldStableLabeling)
+{
+    // Without per-update normalization, messages grow monotonically
+    // (BP-M's chained updates compound within a sweep) and eventually
+    // saturate int16 — the argmin is translation-invariant, so the
+    // labeling stays stable and uniform-cost inputs stay uniform.
+    MrfProblem p = smallProblem(8, 8, 4, 3);
+    std::fill(p.dataCost.begin(), p.dataCost.end(), Fx16{5});
+    BpState bp(p);
+    for (int i = 0; i < 3; ++i)
+        bp.iterate();
+    const auto labels = bp.decode();
+    for (auto l : labels)
+        EXPECT_EQ(l, labels[0]);
+}
+
+TEST(Bp, CoarsenSumsChildren)
+{
+    MrfProblem p = smallProblem(6, 4, 4, 4);
+    const MrfProblem c = coarsen(p);
+    EXPECT_EQ(c.width, 3u);
+    EXPECT_EQ(c.height, 2u);
+    for (unsigned l = 0; l < 4; ++l) {
+        const Fx16 want = addSat(
+            addSat(addSat(p.dataAt(0, 0)[l], p.dataAt(1, 0)[l]),
+                   p.dataAt(0, 1)[l]),
+            p.dataAt(1, 1)[l]);
+        EXPECT_EQ(c.dataAt(0, 0)[l], want);
+    }
+}
+
+TEST(Bp, HierarchicalSeedingImprovesOnNoPropagation)
+{
+    MrfProblem p = structuredProblem(16, 16, 8, 5);
+
+    // Data-cost-only labeling (zero messages).
+    BpState none(p);
+    const auto base_energy = none.energy(none.decode());
+
+    // Hierarchical: coarse iterations seed the fine grid (the
+    // construct/copy phases of Sec. VI-A), then one fine iteration.
+    const MrfProblem cp = coarsen(p);
+    BpState coarse(cp);
+    for (int i = 0; i < 3; ++i)
+        coarse.iterate();
+    BpState fine(p);
+    copyMessages(coarse, fine);
+    fine.iterate();
+    EXPECT_LT(fine.energy(fine.decode()), base_energy);
+}
+
+TEST(Stereo, SyntheticPairIsConsistent)
+{
+    Rng rng(6);
+    const StereoPair pair = makeSyntheticStereo(64, 48, 8, rng);
+    EXPECT_EQ(pair.left.size(), 64u * 48);
+    // Where ground truth is visible, right(x - d) == left(x).
+    unsigned checked = 0;
+    for (unsigned y = 0; y < 48; ++y) {
+        for (unsigned x = 8; x < 64; ++x) {
+            const unsigned d = pair.groundTruth[y * 64 + x];
+            // Skip pixels occluded by a closer rectangle.
+            bool occluded = false;
+            for (unsigned x2 = x + 1; x2 < 64 && x2 <= x + 8; ++x2) {
+                const unsigned d2 = pair.groundTruth[y * 64 + x2];
+                if (x2 - d2 == x - d && d2 > d)
+                    occluded = true;
+            }
+            if (occluded)
+                continue;
+            EXPECT_EQ(pair.right[y * 64 + x - d], pair.left[y * 64 + x])
+                << x << "," << y;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 1000u);
+}
+
+TEST(Stereo, BpRecoversDisparity)
+{
+    Rng rng(7);
+    const StereoPair pair = makeSyntheticStereo(48, 32, 6, rng);
+    MrfProblem mrf = stereoMrf(pair, 6, 20, 4, 16);
+    BpState bp(mrf);
+    for (int i = 0; i < 4; ++i)
+        bp.iterate();
+    const double acc = disparityAccuracy(pair, bp.decode(), 1);
+    EXPECT_GT(acc, 0.80) << "BP should recover most of the disparity";
+}
+
+TEST(Vgg, MacCountsMatchThePaper)
+{
+    const auto v16 = vgg16Layers();
+    std::uint64_t conv_macs = 0, fc_macs = 0;
+    unsigned convs = 0, pools = 0, fcs = 0;
+    for (const auto &l : v16) {
+        switch (l.kind) {
+          case LayerDesc::Kind::Conv:
+            conv_macs += l.macs();
+            ++convs;
+            break;
+          case LayerDesc::Kind::Pool:
+            ++pools;
+            break;
+          case LayerDesc::Kind::Fc:
+            fc_macs += l.macs();
+            ++fcs;
+            break;
+        }
+    }
+    EXPECT_EQ(convs, 13u);
+    EXPECT_EQ(pools, 5u);
+    EXPECT_EQ(fcs, 3u);
+    // "The thirteen convolution layers in VGG-16 require 15.3 billion
+    // multiply-accumulate operations" (Sec. II-B).
+    EXPECT_NEAR(static_cast<double>(conv_macs), 15.3e9, 0.2e9);
+    // First FC layer: 25,088 inputs x 4,096 outputs ~= 100M MACs.
+    EXPECT_EQ(v16[18].inputs, 25088u);
+    EXPECT_EQ(v16[18].outputs, 4096u);
+    EXPECT_NEAR(static_cast<double>(fc_macs), 123.6e6, 2e6);
+
+    const auto v19 = vgg19Layers();
+    unsigned convs19 = 0;
+    for (const auto &l : v19) {
+        if (l.kind == LayerDesc::Kind::Conv)
+            ++convs19;
+    }
+    EXPECT_EQ(convs19, 16u);
+}
+
+TEST(Vgg, ArithmeticIntensityOrdering)
+{
+    // Convs are compute-rich; pools are memory-bound (Fig. 3b).
+    const auto layers = vgg16Layers();
+    double min_conv = 1e9, max_pool = 0;
+    for (const auto &l : layers) {
+        if (l.kind == LayerDesc::Kind::Conv)
+            min_conv = std::min(min_conv, l.arithmeticIntensity());
+        if (l.kind == LayerDesc::Kind::Pool)
+            max_pool = std::max(max_pool, l.arithmeticIntensity());
+    }
+    EXPECT_GT(min_conv, max_pool);
+    EXPECT_LT(max_pool, 1.0);
+}
+
+TEST(Nn, ConvReferenceHandComputed)
+{
+    // 1 input channel, 3x3, all-ones filter: output = window sum.
+    FeatureMap in(1, 3, 3);
+    for (unsigned i = 0; i < 9; ++i)
+        in.data[i] = static_cast<Fx16>(i + 1);
+    const std::vector<Fx16> filt(9, 1);
+    const std::vector<Fx16> bias = {0};
+    const FeatureMap out = convLayer(in, filt, bias, 1, 3, false);
+    EXPECT_EQ(out.at(0, 1, 1), 45);          // full window: 1+..+9
+    EXPECT_EQ(out.at(0, 0, 0), 1 + 2 + 4 + 5);  // corner with padding
+}
+
+TEST(Nn, ConvBiasAndRelu)
+{
+    FeatureMap in(1, 2, 2);
+    in.data = {1, 1, 1, 1};
+    const std::vector<Fx16> filt(9, 0);
+    const FeatureMap neg = convLayer(in, filt, {-3}, 1, 3, true);
+    EXPECT_EQ(neg.at(0, 0, 0), 0);  // ReLU clamps the bias
+    const FeatureMap pos = convLayer(in, filt, {7}, 1, 3, true);
+    EXPECT_EQ(pos.at(0, 1, 1), 7);
+}
+
+TEST(Nn, VipPartialSemanticsAgreeWithoutSaturation)
+{
+    Rng rng(8);
+    FeatureMap in(8, 6, 6);
+    for (auto &v : in.data)
+        v = static_cast<Fx16>(rng.nextRange(-10, 10));
+    const auto filt = randomWeights(4ull * 8 * 9, rng, 3);
+    const auto bias = randomWeights(4, rng, 10);
+    const FeatureMap plain = convLayer(in, filt, bias, 4, 3);
+    for (unsigned zs : {8u, 4u, 2u}) {
+        const FeatureMap vip = convLayerVip(in, filt, bias, 4, 3, zs);
+        EXPECT_EQ(vip.data, plain.data) << "z shard " << zs;
+    }
+}
+
+TEST(Nn, FcSegmentedAgreesWithoutSaturation)
+{
+    Rng rng(9);
+    const auto in = randomWeights(64, rng, 10);
+    const auto w = randomWeights(32ull * 64, rng, 3);
+    const auto bias = randomWeights(32, rng, 10);
+    const auto plain = fcLayer(in, w, bias, 32);
+    for (unsigned segs : {1u, 2u, 4u, 8u}) {
+        EXPECT_EQ(fcLayerSegmented(in, w, bias, 32, segs), plain)
+            << segs << " segments";
+    }
+}
+
+TEST(Nn, MaxPoolHandComputed)
+{
+    FeatureMap in(1, 4, 4);
+    for (unsigned i = 0; i < 16; ++i)
+        in.data[i] = static_cast<Fx16>(i);
+    const FeatureMap out = maxPool(in, 2);
+    EXPECT_EQ(out.height, 2u);
+    EXPECT_EQ(out.at(0, 0, 0), 5);
+    EXPECT_EQ(out.at(0, 0, 1), 7);
+    EXPECT_EQ(out.at(0, 1, 0), 13);
+    EXPECT_EQ(out.at(0, 1, 1), 15);
+}
+
+TEST(Nn, PoolAndConvOpAccounting)
+{
+    LayerDesc pool;
+    pool.kind = LayerDesc::Kind::Pool;
+    pool.inChannels = 64;
+    pool.inHeight = 8;
+    pool.inWidth = 8;
+    pool.window = 2;
+    EXPECT_EQ(pool.macs(), 64ull * 4 * 4 * 4);
+    EXPECT_EQ(pool.ops(), pool.macs());
+
+    LayerDesc conv;
+    conv.kind = LayerDesc::Kind::Conv;
+    conv.inChannels = 3;
+    conv.outChannels = 64;
+    conv.inHeight = 224;
+    conv.inWidth = 224;
+    conv.kernel = 3;
+    EXPECT_EQ(conv.macs(), 64ull * 224 * 224 * 27);
+    EXPECT_EQ(conv.ops(), 2 * conv.macs());
+}
+
+} // namespace
+} // namespace vip

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Command-line VIP assembler: assemble a source file into the 64-bit
+ * binary encoding, or disassemble a binary back to text.
+ *
+ *   vip-asm prog.s -o prog.bin        assemble
+ *   vip-asm -d prog.bin               disassemble to stdout
+ *   vip-asm -l prog.s                 print a listing (addr, word, asm)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "isa/isa.hh"
+
+using namespace vip;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "vip-asm: cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: vip-asm <prog.s> [-o prog.bin]   assemble\n"
+                 "       vip-asm -l <prog.s>              listing\n"
+                 "       vip-asm -d <prog.bin>            disassemble\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool disasm = false, listing = false;
+    std::string input, output;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-d") == 0) {
+            disasm = true;
+        } else if (std::strcmp(argv[i], "-l") == 0) {
+            listing = true;
+        } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+            output = argv[++i];
+        } else if (argv[i][0] == '-') {
+            return usage();
+        } else {
+            input = argv[i];
+        }
+    }
+    if (input.empty())
+        return usage();
+
+    if (disasm) {
+        std::ifstream in(input, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "vip-asm: cannot open %s\n",
+                         input.c_str());
+            return 1;
+        }
+        std::vector<std::uint64_t> words;
+        std::uint64_t w;
+        while (in.read(reinterpret_cast<char *>(&w), sizeof(w)))
+            words.push_back(w);
+        const auto prog = decodeProgram(words);
+        for (std::size_t i = 0; i < prog.size(); ++i)
+            std::printf("%4zu: %s\n", i, disassemble(prog[i]).c_str());
+        return 0;
+    }
+
+    AssemblyError err;
+    const auto prog = assemble(readFile(input), &err);
+    if (!err.message.empty()) {
+        std::fprintf(stderr, "%s:%u: error: %s\n", input.c_str(),
+                     err.line, err.message.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "%zu instructions (buffer holds %u)\n",
+                 prog.size(), kInstBufferEntries);
+
+    const auto words = encodeProgram(prog);
+    if (listing) {
+        std::size_t wi = 0;
+        for (std::size_t i = 0; i < prog.size(); ++i) {
+            std::printf("%4zu: %016llx  %s\n", i,
+                        static_cast<unsigned long long>(words[wi]),
+                        disassemble(prog[i]).c_str());
+            ++wi;
+            if (prog[i].op == Opcode::MovImm &&
+                !immFitsEncoding(prog[i].imm)) {
+                std::printf("      %016llx  ; literal\n",
+                            static_cast<unsigned long long>(words[wi]));
+                ++wi;
+            }
+        }
+    }
+    if (!output.empty()) {
+        std::ofstream out(output, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(words.data()),
+                  static_cast<std::streamsize>(words.size() * 8));
+        std::fprintf(stderr, "wrote %zu words to %s\n", words.size(),
+                     output.c_str());
+    }
+    return 0;
+}
