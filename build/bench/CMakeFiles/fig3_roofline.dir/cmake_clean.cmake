@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_roofline.dir/fig3_roofline.cc.o"
+  "CMakeFiles/fig3_roofline.dir/fig3_roofline.cc.o.d"
+  "fig3_roofline"
+  "fig3_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

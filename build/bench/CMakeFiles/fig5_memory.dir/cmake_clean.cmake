@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_memory.dir/fig5_memory.cc.o"
+  "CMakeFiles/fig5_memory.dir/fig5_memory.cc.o.d"
+  "fig5_memory"
+  "fig5_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

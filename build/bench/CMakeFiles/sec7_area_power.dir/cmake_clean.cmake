@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_area_power.dir/sec7_area_power.cc.o"
+  "CMakeFiles/sec7_area_power.dir/sec7_area_power.cc.o.d"
+  "sec7_area_power"
+  "sec7_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

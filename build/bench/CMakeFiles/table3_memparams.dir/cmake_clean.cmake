@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_memparams.dir/table3_memparams.cc.o"
+  "CMakeFiles/table3_memparams.dir/table3_memparams.cc.o.d"
+  "table3_memparams"
+  "table3_memparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_memparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

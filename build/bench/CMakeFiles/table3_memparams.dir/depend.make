@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_memparams.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cnn.dir/table4_cnn.cc.o"
+  "CMakeFiles/table4_cnn.dir/table4_cnn.cc.o.d"
+  "table4_cnn"
+  "table4_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

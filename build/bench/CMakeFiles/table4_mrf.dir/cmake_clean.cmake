@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mrf.dir/table4_mrf.cc.o"
+  "CMakeFiles/table4_mrf.dir/table4_mrf.cc.o.d"
+  "table4_mrf"
+  "table4_mrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

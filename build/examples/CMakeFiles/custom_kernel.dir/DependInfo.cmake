@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_kernel.cpp" "examples/CMakeFiles/custom_kernel.dir/custom_kernel.cpp.o" "gcc" "examples/CMakeFiles/custom_kernel.dir/custom_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/vip_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/vip_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vip_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vip_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/vip_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vip_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denoise.dir/denoise.cpp.o"
+  "CMakeFiles/denoise.dir/denoise.cpp.o.d"
+  "denoise"
+  "denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

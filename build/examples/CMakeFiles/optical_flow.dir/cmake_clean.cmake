@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_flow.dir/optical_flow.cpp.o"
+  "CMakeFiles/optical_flow.dir/optical_flow.cpp.o.d"
+  "optical_flow"
+  "optical_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stereo_depth.dir/stereo_depth.cpp.o"
+  "CMakeFiles/stereo_depth.dir/stereo_depth.cpp.o.d"
+  "stereo_depth"
+  "stereo_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stereo_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

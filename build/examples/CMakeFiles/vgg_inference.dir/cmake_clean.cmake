@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg_inference.dir/vgg_inference.cpp.o"
+  "CMakeFiles/vgg_inference.dir/vgg_inference.cpp.o.d"
+  "vgg_inference"
+  "vgg_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_isa.dir/assembler.cc.o"
+  "CMakeFiles/vip_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/vip_isa.dir/builder.cc.o"
+  "CMakeFiles/vip_isa.dir/builder.cc.o.d"
+  "CMakeFiles/vip_isa.dir/isa.cc.o"
+  "CMakeFiles/vip_isa.dir/isa.cc.o.d"
+  "libvip_isa.a"
+  "libvip_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

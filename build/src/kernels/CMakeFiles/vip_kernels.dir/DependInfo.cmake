@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bp_kernel.cc" "src/kernels/CMakeFiles/vip_kernels.dir/bp_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/vip_kernels.dir/bp_kernel.cc.o.d"
+  "/root/repo/src/kernels/conv_kernel.cc" "src/kernels/CMakeFiles/vip_kernels.dir/conv_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/vip_kernels.dir/conv_kernel.cc.o.d"
+  "/root/repo/src/kernels/fc_kernel.cc" "src/kernels/CMakeFiles/vip_kernels.dir/fc_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/vip_kernels.dir/fc_kernel.cc.o.d"
+  "/root/repo/src/kernels/hier_kernel.cc" "src/kernels/CMakeFiles/vip_kernels.dir/hier_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/vip_kernels.dir/hier_kernel.cc.o.d"
+  "/root/repo/src/kernels/layout.cc" "src/kernels/CMakeFiles/vip_kernels.dir/layout.cc.o" "gcc" "src/kernels/CMakeFiles/vip_kernels.dir/layout.cc.o.d"
+  "/root/repo/src/kernels/pool_kernel.cc" "src/kernels/CMakeFiles/vip_kernels.dir/pool_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/vip_kernels.dir/pool_kernel.cc.o.d"
+  "/root/repo/src/kernels/sync.cc" "src/kernels/CMakeFiles/vip_kernels.dir/sync.cc.o" "gcc" "src/kernels/CMakeFiles/vip_kernels.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/vip_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vip_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/vip_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/vip_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_kernels.dir/bp_kernel.cc.o"
+  "CMakeFiles/vip_kernels.dir/bp_kernel.cc.o.d"
+  "CMakeFiles/vip_kernels.dir/conv_kernel.cc.o"
+  "CMakeFiles/vip_kernels.dir/conv_kernel.cc.o.d"
+  "CMakeFiles/vip_kernels.dir/fc_kernel.cc.o"
+  "CMakeFiles/vip_kernels.dir/fc_kernel.cc.o.d"
+  "CMakeFiles/vip_kernels.dir/hier_kernel.cc.o"
+  "CMakeFiles/vip_kernels.dir/hier_kernel.cc.o.d"
+  "CMakeFiles/vip_kernels.dir/layout.cc.o"
+  "CMakeFiles/vip_kernels.dir/layout.cc.o.d"
+  "CMakeFiles/vip_kernels.dir/pool_kernel.cc.o"
+  "CMakeFiles/vip_kernels.dir/pool_kernel.cc.o.d"
+  "CMakeFiles/vip_kernels.dir/sync.cc.o"
+  "CMakeFiles/vip_kernels.dir/sync.cc.o.d"
+  "libvip_kernels.a"
+  "libvip_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

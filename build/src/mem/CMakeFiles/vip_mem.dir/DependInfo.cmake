@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/addrmap.cc" "src/mem/CMakeFiles/vip_mem.dir/addrmap.cc.o" "gcc" "src/mem/CMakeFiles/vip_mem.dir/addrmap.cc.o.d"
+  "/root/repo/src/mem/hmc.cc" "src/mem/CMakeFiles/vip_mem.dir/hmc.cc.o" "gcc" "src/mem/CMakeFiles/vip_mem.dir/hmc.cc.o.d"
+  "/root/repo/src/mem/storage.cc" "src/mem/CMakeFiles/vip_mem.dir/storage.cc.o" "gcc" "src/mem/CMakeFiles/vip_mem.dir/storage.cc.o.d"
+  "/root/repo/src/mem/vault.cc" "src/mem/CMakeFiles/vip_mem.dir/vault.cc.o" "gcc" "src/mem/CMakeFiles/vip_mem.dir/vault.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

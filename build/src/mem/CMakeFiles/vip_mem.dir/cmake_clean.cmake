@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_mem.dir/addrmap.cc.o"
+  "CMakeFiles/vip_mem.dir/addrmap.cc.o.d"
+  "CMakeFiles/vip_mem.dir/hmc.cc.o"
+  "CMakeFiles/vip_mem.dir/hmc.cc.o.d"
+  "CMakeFiles/vip_mem.dir/storage.cc.o"
+  "CMakeFiles/vip_mem.dir/storage.cc.o.d"
+  "CMakeFiles/vip_mem.dir/vault.cc.o"
+  "CMakeFiles/vip_mem.dir/vault.cc.o.d"
+  "libvip_mem.a"
+  "libvip_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

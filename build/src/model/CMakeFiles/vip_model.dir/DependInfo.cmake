@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/baselines.cc" "src/model/CMakeFiles/vip_model.dir/baselines.cc.o" "gcc" "src/model/CMakeFiles/vip_model.dir/baselines.cc.o.d"
+  "/root/repo/src/model/gpu_model.cc" "src/model/CMakeFiles/vip_model.dir/gpu_model.cc.o" "gcc" "src/model/CMakeFiles/vip_model.dir/gpu_model.cc.o.d"
+  "/root/repo/src/model/power.cc" "src/model/CMakeFiles/vip_model.dir/power.cc.o" "gcc" "src/model/CMakeFiles/vip_model.dir/power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/vip_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vip_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_model.dir/baselines.cc.o"
+  "CMakeFiles/vip_model.dir/baselines.cc.o.d"
+  "CMakeFiles/vip_model.dir/gpu_model.cc.o"
+  "CMakeFiles/vip_model.dir/gpu_model.cc.o.d"
+  "CMakeFiles/vip_model.dir/power.cc.o"
+  "CMakeFiles/vip_model.dir/power.cc.o.d"
+  "libvip_model.a"
+  "libvip_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

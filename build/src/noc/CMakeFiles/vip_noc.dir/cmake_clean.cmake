@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_noc.dir/torus.cc.o"
+  "CMakeFiles/vip_noc.dir/torus.cc.o.d"
+  "libvip_noc.a"
+  "libvip_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pe/arc.cc" "src/pe/CMakeFiles/vip_pe.dir/arc.cc.o" "gcc" "src/pe/CMakeFiles/vip_pe.dir/arc.cc.o.d"
+  "/root/repo/src/pe/pe.cc" "src/pe/CMakeFiles/vip_pe.dir/pe.cc.o" "gcc" "src/pe/CMakeFiles/vip_pe.dir/pe.cc.o.d"
+  "/root/repo/src/pe/scratchpad.cc" "src/pe/CMakeFiles/vip_pe.dir/scratchpad.cc.o" "gcc" "src/pe/CMakeFiles/vip_pe.dir/scratchpad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vip_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

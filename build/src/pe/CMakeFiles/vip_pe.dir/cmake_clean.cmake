@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_pe.dir/arc.cc.o"
+  "CMakeFiles/vip_pe.dir/arc.cc.o.d"
+  "CMakeFiles/vip_pe.dir/pe.cc.o"
+  "CMakeFiles/vip_pe.dir/pe.cc.o.d"
+  "CMakeFiles/vip_pe.dir/scratchpad.cc.o"
+  "CMakeFiles/vip_pe.dir/scratchpad.cc.o.d"
+  "libvip_pe.a"
+  "libvip_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

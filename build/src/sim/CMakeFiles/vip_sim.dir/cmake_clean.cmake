@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_sim.dir/logging.cc.o"
+  "CMakeFiles/vip_sim.dir/logging.cc.o.d"
+  "CMakeFiles/vip_sim.dir/stats.cc.o"
+  "CMakeFiles/vip_sim.dir/stats.cc.o.d"
+  "libvip_sim.a"
+  "libvip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvip_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_system.dir/system.cc.o"
+  "CMakeFiles/vip_system.dir/system.cc.o.d"
+  "libvip_system.a"
+  "libvip_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fixed.cc" "src/workloads/CMakeFiles/vip_workloads.dir/fixed.cc.o" "gcc" "src/workloads/CMakeFiles/vip_workloads.dir/fixed.cc.o.d"
+  "/root/repo/src/workloads/flow.cc" "src/workloads/CMakeFiles/vip_workloads.dir/flow.cc.o" "gcc" "src/workloads/CMakeFiles/vip_workloads.dir/flow.cc.o.d"
+  "/root/repo/src/workloads/mrf.cc" "src/workloads/CMakeFiles/vip_workloads.dir/mrf.cc.o" "gcc" "src/workloads/CMakeFiles/vip_workloads.dir/mrf.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/workloads/CMakeFiles/vip_workloads.dir/nn.cc.o" "gcc" "src/workloads/CMakeFiles/vip_workloads.dir/nn.cc.o.d"
+  "/root/repo/src/workloads/stereo.cc" "src/workloads/CMakeFiles/vip_workloads.dir/stereo.cc.o" "gcc" "src/workloads/CMakeFiles/vip_workloads.dir/stereo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

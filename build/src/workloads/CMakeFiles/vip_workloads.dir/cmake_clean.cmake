@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_workloads.dir/fixed.cc.o"
+  "CMakeFiles/vip_workloads.dir/fixed.cc.o.d"
+  "CMakeFiles/vip_workloads.dir/flow.cc.o"
+  "CMakeFiles/vip_workloads.dir/flow.cc.o.d"
+  "CMakeFiles/vip_workloads.dir/mrf.cc.o"
+  "CMakeFiles/vip_workloads.dir/mrf.cc.o.d"
+  "CMakeFiles/vip_workloads.dir/nn.cc.o"
+  "CMakeFiles/vip_workloads.dir/nn.cc.o.d"
+  "CMakeFiles/vip_workloads.dir/stereo.cc.o"
+  "CMakeFiles/vip_workloads.dir/stereo.cc.o.d"
+  "libvip_workloads.a"
+  "libvip_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_test.dir/advanced_test.cc.o"
+  "CMakeFiles/advanced_test.dir/advanced_test.cc.o.d"
+  "advanced_test"
+  "advanced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

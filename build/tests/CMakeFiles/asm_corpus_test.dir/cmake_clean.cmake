@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_corpus_test.dir/asm_corpus_test.cc.o"
+  "CMakeFiles/asm_corpus_test.dir/asm_corpus_test.cc.o.d"
+  "asm_corpus_test"
+  "asm_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_kernel_test.dir/hier_kernel_test.cc.o"
+  "CMakeFiles/hier_kernel_test.dir/hier_kernel_test.cc.o.d"
+  "hier_kernel_test"
+  "hier_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_sched_test.dir/mem_sched_test.cc.o"
+  "CMakeFiles/mem_sched_test.dir/mem_sched_test.cc.o.d"
+  "mem_sched_test"
+  "mem_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

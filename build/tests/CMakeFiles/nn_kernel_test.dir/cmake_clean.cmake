@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_kernel_test.dir/nn_kernel_test.cc.o"
+  "CMakeFiles/nn_kernel_test.dir/nn_kernel_test.cc.o.d"
+  "nn_kernel_test"
+  "nn_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_test.dir/pe_test.cc.o"
+  "CMakeFiles/pe_test.dir/pe_test.cc.o.d"
+  "pe_test"
+  "pe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subword_test.dir/subword_test.cc.o"
+  "CMakeFiles/subword_test.dir/subword_test.cc.o.d"
+  "subword_test"
+  "subword_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subword_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip-asm.dir/vip-asm.cc.o"
+  "CMakeFiles/vip-asm.dir/vip-asm.cc.o.d"
+  "vip-asm"
+  "vip-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

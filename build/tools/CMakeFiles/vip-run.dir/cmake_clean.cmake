@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip-run.dir/vip-run.cc.o"
+  "CMakeFiles/vip-run.dir/vip-run.cc.o.d"
+  "vip-run"
+  "vip-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
