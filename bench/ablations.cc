@@ -16,11 +16,13 @@
 
 #include <cstdio>
 #include <functional>
+#include <vector>
 
 #include "common.hh"
 #include "kernels/bp_kernel.hh"
 #include "kernels/layout.hh"
 #include "kernels/runner.hh"
+#include "sim/sweep.hh"
 
 using namespace vip;
 
@@ -59,19 +61,59 @@ bpPhase(const std::function<void(SystemConfig &)> &tweak,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchOptions(argc, argv);
+
+    // Every ablation point is an independent one-vault simulation:
+    // sweep them all in parallel via the engine's generic interface.
+    std::vector<std::function<Cycles()>> points;
+    points.push_back([] { return bpPhase([](SystemConfig &) {}); });
+    points.push_back([] {
+        return bpPhase(
+            [](SystemConfig &c) { c.pe.arcCoversVector = true; });
+    });
+    const std::vector<unsigned> arc_entries = {4, 8, 20, 40};
+    for (const unsigned entries : arc_entries) {
+        points.push_back([entries] {
+            return bpPhase(
+                [&](SystemConfig &s) { s.pe.arcEntries = entries; });
+        });
+    }
+    const std::vector<unsigned> depths = {1, 2, 3, 4};
+    for (const unsigned depth : depths) {
+        points.push_back(
+            [depth] { return bpPhase([](SystemConfig &) {}, depth); });
+    }
+    const std::vector<unsigned> lsqs = {8, 16, 32, 64};
+    for (const unsigned lsq : lsqs) {
+        points.push_back([lsq] {
+            return bpPhase(
+                [&](SystemConfig &s) { s.pe.lsqEntries = lsq; });
+        });
+    }
+    const std::vector<unsigned> tqs = {4, 8, 16, 32};
+    for (const unsigned tq : tqs) {
+        points.push_back([tq] {
+            return bpPhase(
+                [&](SystemConfig &s) { s.mem.transQueueDepth = tq; });
+        });
+    }
+
+    SweepEngine engine(opts.jobs);
+    const std::vector<Cycles> cycles = engine.run(points);
+    std::size_t at = 0;
+
     std::printf("=== Ablations (BP-M tile phase, 60x34, L=16, one "
                 "vault) ===\n");
 
-    const Cycles base = bpPhase([](SystemConfig &) {});
+    const Cycles base = cycles[at++];
     std::printf("\nbaseline (paper config): %llu cycles\n\n",
                 static_cast<unsigned long long>(base));
 
     std::printf("--- 1. exposed latency vs ARC-covered vector pipe "
                 "---\n");
-    const Cycles covered = bpPhase(
-        [](SystemConfig &c) { c.pe.arcCoversVector = true; });
+    const Cycles covered = cycles[at++];
     std::printf("%-26s %10llu cycles  %+5.1f%%\n", "hardware interlock",
                 static_cast<unsigned long long>(covered),
                 100.0 * (static_cast<double>(covered) - base) / base);
@@ -80,35 +122,32 @@ main()
                 "ports and power for no speedup on tuned kernels)\n");
 
     std::printf("\n--- 2. ARC capacity (paper: 20) ---\n");
-    for (unsigned entries : {4u, 8u, 20u, 40u}) {
-        const Cycles c = bpPhase(
-            [&](SystemConfig &s) { s.pe.arcEntries = entries; });
+    for (const unsigned entries : arc_entries) {
+        const Cycles c = cycles[at++];
         std::printf("%3u entries: %10llu cycles  %+5.1f%%\n", entries,
                     static_cast<unsigned long long>(c),
                     100.0 * (static_cast<double>(c) - base) / base);
     }
 
     std::printf("\n--- 3. software-pipeline depth (paper: 4) ---\n");
-    for (unsigned depth : {1u, 2u, 3u, 4u}) {
-        const Cycles c = bpPhase([](SystemConfig &) {}, depth);
+    for (const unsigned depth : depths) {
+        const Cycles c = cycles[at++];
         std::printf("depth %u: %10llu cycles  %+5.1f%%\n", depth,
                     static_cast<unsigned long long>(c),
                     100.0 * (static_cast<double>(c) - base) / base);
     }
 
     std::printf("\n--- 4. load-store queue depth (paper: 64) ---\n");
-    for (unsigned lsq : {8u, 16u, 32u, 64u}) {
-        const Cycles c = bpPhase(
-            [&](SystemConfig &s) { s.pe.lsqEntries = lsq; });
+    for (const unsigned lsq : lsqs) {
+        const Cycles c = cycles[at++];
         std::printf("%3u entries: %10llu cycles  %+5.1f%%\n", lsq,
                     static_cast<unsigned long long>(c),
                     100.0 * (static_cast<double>(c) - base) / base);
     }
 
     std::printf("\n--- 5. transaction queue depth (paper: 32) ---\n");
-    for (unsigned tq : {4u, 8u, 16u, 32u}) {
-        const Cycles c = bpPhase(
-            [&](SystemConfig &s) { s.mem.transQueueDepth = tq; });
+    for (const unsigned tq : tqs) {
+        const Cycles c = cycles[at++];
         std::printf("%3u entries: %10llu cycles  %+5.1f%%\n", tq,
                     static_cast<unsigned long long>(c),
                     100.0 * (static_cast<double>(c) - base) / base);

@@ -1,6 +1,9 @@
 #include "common.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "isa/builder.hh"
 #include "kernels/bp_kernel.hh"
@@ -12,8 +15,50 @@
 #include "kernels/runner.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "sim/sweep.hh"
 
 namespace vip {
+
+BenchOptions
+parseBenchOptions(int argc, char **argv, double default_frac)
+{
+    BenchOptions opts;
+    opts.frac = default_frac;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --jobs needs a count\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            char *end = nullptr;
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], &end, 10));
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "%s: --jobs: '%s' is not a "
+                             "count\n", argv[0], argv[i]);
+                std::exit(2);
+            }
+        } else if (arg[0] != '-' && default_frac > 0) {
+            opts.frac = std::atof(arg);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s %s[--jobs N]\n", argv[0],
+                         default_frac > 0 ? "[FRAC] " : "");
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+std::vector<SliceResult>
+runSweep(const std::vector<std::function<SliceResult()>> &points,
+         unsigned jobs)
+{
+    SweepEngine engine(jobs);
+    return engine.run(points);
+}
 
 void
 applyKnobs(MemConfig &cfg, const MemKnobs &knobs)
@@ -35,7 +80,7 @@ applyKnobs(MemConfig &cfg, const MemKnobs &knobs)
 namespace {
 
 SliceResult
-collect(VipSystem &sys, Cycles cycles, std::uint64_t work)
+collect(const VipSystem &sys, Cycles cycles, std::uint64_t work)
 {
     SliceResult r;
     r.cycles = cycles;
@@ -53,9 +98,9 @@ runBpTilePhase(unsigned tile_w, unsigned tile_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     applyKnobs(cfg.mem, knobs);
-    VipSystem sys(cfg);
+    Simulation sim(cfg);
 
-    MrfDramLayout layout(sys.vaultBase(0), tile_w, tile_h, labels);
+    MrfDramLayout layout(sim.vaultBase(), tile_w, tile_h, labels);
 
     // Random data costs: timing is data-independent, but the messages
     // exercise realistic value ranges.
@@ -69,7 +114,7 @@ runBpTilePhase(unsigned tile_w, unsigned tile_h, unsigned labels,
                          labels);
     for (auto &c : prob.dataCost)
         c = static_cast<Fx16>(rng.nextBelow(25));
-    layout.upload(prob, sys.dram());
+    layout.upload(prob, sim.system().dram());
 
     const Addr flag_base = layout.end() + 64;
     const unsigned num_pes = 4;
@@ -85,12 +130,12 @@ runBpTilePhase(unsigned tile_w, unsigned tile_h, unsigned labels,
                               {SweepDir::Left, hb, he},
                               {SweepDir::Down, vb, ve},
                               {SweepDir::Up, vb, ve}};
-        sys.pe(pe).loadProgram(genBpIterations(layout, BpVariant{}, jobs,
-                                               iterations, flag_base, pe,
-                                               num_pes));
+        sim.loadProgram(pe, genBpIterations(layout, BpVariant{}, jobs,
+                                            iterations, flag_base, pe,
+                                            num_pes));
     }
-    const Cycles cycles = sys.run();
-    return collect(sys, cycles,
+    const Cycles cycles = sim.run().cycles;
+    return collect(sim.system(), cycles,
                    4ull * tile_w * tile_h * iterations);
 }
 
@@ -99,8 +144,8 @@ runBpSweepVariant(unsigned tile_w, unsigned tile_h, unsigned labels,
                   bool reduction, bool register_file)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
-    VipSystem sys(cfg);
-    MrfDramLayout layout(sys.vaultBase(0), tile_w, tile_h, labels);
+    Simulation sim(cfg);
+    MrfDramLayout layout(sim.vaultBase(), tile_w, tile_h, labels);
 
     const unsigned num_pes = 4;
     BpVariant variant;
@@ -113,11 +158,11 @@ runBpSweepVariant(unsigned tile_w, unsigned tile_h, unsigned labels,
         const unsigned end = std::min(tile_h, begin + per);
         if (begin == end)
             continue;
-        sys.pe(pe).loadProgram(genBpSweep(
+        sim.loadProgram(pe, genBpSweep(
             layout, variant, BpSweepJob{SweepDir::Right, begin, end}));
     }
-    const Cycles cycles = sys.run();
-    return collect(sys, cycles,
+    const Cycles cycles = sim.run().cycles;
+    return collect(sim.system(), cycles,
                    static_cast<std::uint64_t>(tile_w - 1) * tile_h);
 }
 
@@ -162,8 +207,8 @@ runConvShare(const LayerDesc &layer, unsigned vaults_active,
     const unsigned rows_per_pe = std::max(
         1u, static_cast<unsigned>(tile_h * row_fraction / pes));
 
-    VipSystem sys(cfg);
-    const Addr base = sys.vaultBase(0);
+    Simulation sim(cfg);
+    const Addr base = sim.vaultBase();
     // Column-major placement: each window column is one contiguous
     // transfer (the inter-layer data placement of Sec. IV-B).
     FmapDramLayout in_lay(base, zc, tile_h, tile_w, 1, true);
@@ -192,9 +237,9 @@ runConvShare(const LayerDesc &layer, unsigned vaults_active,
         job.rowEnd = (pe + 1) * rows_per_pe;
         job.width = tile_w;
         job.finalize = shards == 1;
-        sys.pe(pe).loadProgram(genConvPass(job));
+        sim.loadProgram(pe, genConvPass(job));
     }
-    total_cycles = sys.run();
+    total_cycles = sim.run().cycles;
     macs = static_cast<std::uint64_t>(groups) * F * pes * rows_per_pe *
            tile_w * 9 * zc;
 
@@ -213,11 +258,11 @@ runConvShare(const LayerDesc &layer, unsigned vaults_active,
         acc.rowEnd = acc_rows;
         acc.chunkElems = out_c;
         acc.chunksPerRow = tile_w;
-        sys.pe(0).loadProgram(genConvAccum(acc));
-        total_cycles = sys.run();
+        sim.loadProgram(0, genConvAccum(acc));
+        total_cycles = sim.run().cycles;
     }
 
-    return collect(sys, total_cycles, macs);
+    return collect(sim.system(), total_cycles, macs);
 }
 
 SliceResult
@@ -227,7 +272,7 @@ runPoolShare(const LayerDesc &layer, unsigned vaults_active,
     vip_assert(layer.kind == LayerDesc::Kind::Pool, "not a pool layer");
     SystemConfig cfg = makeSystemConfig(1, 4);
     applyKnobs(cfg.mem, knobs);
-    VipSystem sys(cfg);
+    Simulation sim(cfg);
 
     const unsigned C = layer.inChannels;
     const unsigned out_h = layer.outHeight();
@@ -241,7 +286,7 @@ runPoolShare(const LayerDesc &layer, unsigned vaults_active,
     const unsigned pes = 4;
     const unsigned rows_per_pe = std::max(1u, rows_total / pes);
 
-    FmapDramLayout in_lay(sys.vaultBase(0), C, 2 * pes * rows_per_pe,
+    FmapDramLayout in_lay(sim.vaultBase(), C, 2 * pes * rows_per_pe,
                           layer.inWidth, 0);
     FmapDramLayout out_lay(in_lay.end() + 4096, C, pes * rows_per_pe,
                            out_w, 0);
@@ -253,10 +298,10 @@ runPoolShare(const LayerDesc &layer, unsigned vaults_active,
         job.rowEnd = (pe + 1) * rows_per_pe;
         job.width = out_w;
         job.chunk = std::min(C, 256u);
-        sys.pe(pe).loadProgram(genPool(job));
+        sim.loadProgram(pe, genPool(job));
     }
-    const Cycles cycles = sys.run();
-    return collect(sys, cycles,
+    const Cycles cycles = sim.run().cycles;
+    return collect(sim.system(), cycles,
                    static_cast<std::uint64_t>(pes) * rows_per_pe * out_w *
                        C * 4);
 }
@@ -267,7 +312,8 @@ runFcLayer(unsigned inputs, unsigned outputs, double row_fraction,
 {
     SystemConfig cfg = makeSystemConfig(32, 4);
     applyKnobs(cfg.mem, knobs);
-    VipSystem sys(cfg);
+    Simulation sim(cfg);
+    VipSystem &sys = sim.system();
 
     const unsigned vaults = 32, pes_per_vault = 4;
     const unsigned seg = inputs / (vaults * pes_per_vault);
@@ -307,11 +353,11 @@ runFcLayer(unsigned inputs, unsigned outputs, double row_fraction,
             job.rowBegin = 0;
             job.rowEnd = rows;
             job.outBlock = out_block;
-            sys.pe(v * pes_per_vault + p).loadProgram(genFcPartial(job));
+            sim.loadProgram(v * pes_per_vault + p, genFcPartial(job));
             macs += static_cast<std::uint64_t>(rows) * seg;
         }
     }
-    Cycles cycles = sys.run();
+    Cycles cycles = sim.run().cycles;
 
     // Accumulation on the left-column vaults' PEs.
     unsigned acc_pes = 32;
@@ -339,9 +385,9 @@ runFcLayer(unsigned inputs, unsigned outputs, double row_fraction,
         // Left-column vaults: one per torus row -> vaults 0, 8, 16, 24.
         const unsigned vault = (a % 8) * 4 / 8 * 8 + (a / 8) * 8 % 32;
         const unsigned pe = (vault % 32) * pes_per_vault + (a % 4);
-        sys.pe(pe % sys.numPes()).loadProgram(genFcAccum(acc));
+        sim.loadProgram(pe % sys.numPes(), genFcAccum(acc));
     }
-    cycles = sys.run();
+    cycles = sim.run().cycles;
 
     return collect(sys, cycles, macs);
 }
@@ -351,8 +397,8 @@ runConstructPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
                   unsigned coarse_rows)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
-    VipSystem sys(cfg);
-    MrfDramLayout fine(sys.vaultBase(0), fine_w, fine_h, labels);
+    Simulation sim(cfg);
+    MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
     MrfDramLayout coarse(fine.end() + 64, fine_w / 2, fine_h / 2,
                          labels);
     const unsigned pes = 4;
@@ -363,10 +409,10 @@ runConstructPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
         job.coarse = &coarse;
         job.rowBegin = pe * per;
         job.rowEnd = (pe + 1) * per;
-        sys.pe(pe).loadProgram(genConstruct(job));
+        sim.loadProgram(pe, genConstruct(job));
     }
-    const Cycles cycles = sys.run();
-    return collect(sys, cycles,
+    const Cycles cycles = sim.run().cycles;
+    return collect(sim.system(), cycles,
                    static_cast<std::uint64_t>(pes) * per * (fine_w / 2));
 }
 
@@ -375,8 +421,8 @@ runCopyPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
              unsigned fine_rows)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
-    VipSystem sys(cfg);
-    MrfDramLayout fine(sys.vaultBase(0), fine_w, fine_h, labels);
+    Simulation sim(cfg);
+    MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
     MrfDramLayout coarse(fine.end() + 64, fine_w / 2, fine_h / 2,
                          labels);
     const unsigned pes = 4;
@@ -387,10 +433,10 @@ runCopyPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
         job.fine = &fine;
         job.rowBegin = pe * per;
         job.rowEnd = (pe + 1) * per;
-        sys.pe(pe).loadProgram(genCopyMessages(job));
+        sim.loadProgram(pe, genCopyMessages(job));
     }
-    const Cycles cycles = sys.run();
-    return collect(sys, cycles,
+    const Cycles cycles = sim.run().cycles;
+    return collect(sim.system(), cycles,
                    static_cast<std::uint64_t>(pes) * per * fine_w);
 }
 
@@ -399,7 +445,7 @@ runStreamCopy(std::uint64_t bytes_per_pe, const MemKnobs &knobs)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     applyKnobs(cfg.mem, knobs);
-    VipSystem sys(cfg);
+    Simulation sim(cfg);
 
     const std::uint64_t chunk = 1024;  // bytes per ld/st pair
     const std::uint64_t iters = bytes_per_pe / (2 * chunk);
@@ -407,7 +453,7 @@ runStreamCopy(std::uint64_t bytes_per_pe, const MemKnobs &knobs)
 
     for (unsigned pe = 0; pe < 4; ++pe) {
         AsmBuilder b;
-        const Addr src = sys.vaultBase(0) + pe * (16ull << 20);
+        const Addr src = sim.vaultBase() + pe * (16ull << 20);
         const Addr dst = src + (8ull << 20);
         b.movImm(1, 0);                       // r1 = loop counter
         b.movImm(2, static_cast<std::int64_t>(iters));
@@ -432,10 +478,10 @@ runStreamCopy(std::uint64_t bytes_per_pe, const MemKnobs &knobs)
         b.branch(BranchCond::Lt, 1, 2, loop);
         b.memfence();
         b.halt();
-        sys.pe(pe).loadProgram(b.finish());
+        sim.loadProgram(pe, b.finish());
     }
-    const Cycles cycles = sys.run();
-    return collect(sys, cycles, 4 * bytes_per_pe);
+    const Cycles cycles = sim.run().cycles;
+    return collect(sim.system(), cycles, 4 * bytes_per_pe);
 }
 
 } // namespace vip

@@ -13,7 +13,9 @@
 #define VIP_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 #include "workloads/nn.hh"
@@ -52,6 +54,37 @@ struct SliceResult
                          : 0;
     }
 };
+
+/**
+ * Command-line options shared by every sweep bench.
+ *
+ * Each bench accepts an optional positional fidelity fraction (where
+ * meaningful) plus `--jobs N`: the number of host threads the sweep
+ * engine may use. The default (0) is the host's hardware concurrency;
+ * `--jobs 1` runs the sweep inline, byte-identically reproducing the
+ * old serial behaviour. Output is deterministic for any jobs value:
+ * every sweep point simulates its own private VipSystem and results
+ * are collected by submission index before anything is printed.
+ */
+struct BenchOptions
+{
+    unsigned jobs = 0;  ///< sweep threads; 0 = hardware concurrency
+    double frac = 0;    ///< bench-specific fidelity fraction
+};
+
+/** Parse `[FRAC] [--jobs N]`; exits with usage on bad arguments. */
+BenchOptions parseBenchOptions(int argc, char **argv,
+                               double default_frac = 0);
+
+/**
+ * Run every sweep point through a SweepEngine with @p jobs workers
+ * (0 = hardware concurrency) and return results keyed by submission
+ * index. Each point must build, run, and destroy its own system —
+ * which every run* helper below does.
+ */
+std::vector<SliceResult>
+runSweep(const std::vector<std::function<SliceResult()>> &points,
+         unsigned jobs);
 
 /** Overrides for the Fig. 5 memory-parameter sweep. */
 struct MemKnobs

@@ -7,9 +7,15 @@
  * intensity counts every DRAM byte moved, including scalar
  * synchronization traffic (the paper's accounting). Per-vault
  * measurements scale to the machine by the active vault count.
+ *
+ * Every data point is an independent tile simulation, so the sweep
+ * runs through the parallel SweepEngine (`--jobs N`; results are
+ * collected by submission index, making the output byte-identical for
+ * any jobs value).
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "common.hh"
@@ -32,8 +38,56 @@ printPoint(const Roofline &roof, const char *name, double ai,
 int
 main(int argc, char **argv)
 {
-    const double frac = argc > 1 ? std::atof(argv[1]) : 0.12;
+    const BenchOptions opts = parseBenchOptions(argc, argv, 0.12);
+    const double frac = opts.frac;
     const Roofline roof = vipRoofline();
+
+    // Stage the whole sweep up front: each point simulates its own
+    // private system, so the engine may run them on any host thread.
+    std::vector<std::function<SliceResult()>> points;
+    const std::size_t pt_fhd = points.size();
+    points.push_back([] { return runBpTilePhase(60, 34, 16); });
+    const std::size_t pt_qhd = points.size();
+    points.push_back([] { return runBpTilePhase(30, 17, 16); });
+    const std::size_t pt_stream = points.size();
+    points.push_back([] { return runStreamCopy(1 << 20); });
+
+    const auto layers = vgg16Layers();
+    // A layer's timing is batch-independent (conv/pool traffic and
+    // compute both scale with batch), so each layer is measured once
+    // and its point is reused by the batch-1 and batch-16 sections.
+    std::vector<std::size_t> layer_point(layers.size(), SIZE_MAX);
+    std::vector<unsigned> layer_vaults(layers.size(), 32);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerDesc l = layers[i];
+        switch (l.kind) {
+          case LayerDesc::Kind::Conv: {
+            const unsigned vaults = l.inWidth <= 14 ? 16 : 32;
+            layer_vaults[i] = vaults;
+            layer_point[i] = points.size();
+            points.push_back(
+                [l, vaults, frac] { return runConvShare(l, vaults, frac); });
+            break;
+          }
+          case LayerDesc::Kind::Pool: {
+            if (l.name != "p3" && l.name != "p4" && l.name != "p5")
+                break;  // the paper plots p3..p5
+            layer_point[i] = points.size();
+            points.push_back(
+                [l, frac] { return runPoolShare(l, 32, frac); });
+            break;
+          }
+          case LayerDesc::Kind::Fc: {
+            layer_point[i] = points.size();
+            points.push_back([l, frac] {
+                return runFcLayer(l.inputs, l.outputs, frac);
+            });
+            break;
+          }
+        }
+    }
+
+    const std::vector<SliceResult> results = runSweep(points, opts.jobs);
 
     std::printf("=== Figure 3: VIP roofline (peak %.0f GOp/s, "
                 "%.0f GB/s, knee at %.1f op/B) ===\n\n", roof.peakGops,
@@ -43,12 +97,12 @@ main(int argc, char **argv)
 
     std::printf("\n--- (a) belief propagation ---\n");
     {
-        const SliceResult fhd = runBpTilePhase(60, 34, 16);
+        const SliceResult &fhd = results[pt_fhd];
         printPoint(roof, "fhd", fhd.opsPerByte(), fhd.gops() * 32);
-        const SliceResult qhd = runBpTilePhase(30, 17, 16);
+        const SliceResult &qhd = results[pt_qhd];
         printPoint(roof, "qhd", qhd.opsPerByte(), qhd.gops() * 32);
         // construct adds four vectors per output: 3L ops, 5L elements.
-        const SliceResult stream = runStreamCopy(1 << 20);
+        const SliceResult &stream = results[pt_stream];
         const double ai = 3.0 / (5.0 * 2.0);
         printPoint(roof, "fhd_cons", ai,
                    ai * stream.bandwidthGBs() * 32);
@@ -57,27 +111,22 @@ main(int argc, char **argv)
     for (int batch : {1, 16}) {
         std::printf("\n--- (%c) VGG-16, batch %d ---\n",
                     batch == 1 ? 'b' : 'c', batch);
-        for (const auto &l : vgg16Layers()) {
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            if (layer_point[i] == SIZE_MAX)
+                continue;
+            const LayerDesc &l = layers[i];
+            const SliceResult &s = results[layer_point[i]];
             switch (l.kind) {
-              case LayerDesc::Kind::Conv: {
-                const unsigned vaults = l.inWidth <= 14 ? 16 : 32;
-                const SliceResult s = runConvShare(l, vaults, frac);
+              case LayerDesc::Kind::Conv:
                 // Conv traffic and compute both scale with batch.
                 printPoint(roof, l.name.c_str(), s.opsPerByte(),
-                           s.gops() * vaults);
+                           s.gops() * layer_vaults[i]);
                 break;
-              }
-              case LayerDesc::Kind::Pool: {
-                if (l.name != "p3" && l.name != "p4" && l.name != "p5")
-                    break;  // the paper plots p3..p5
-                const SliceResult s = runPoolShare(l, 32, frac);
+              case LayerDesc::Kind::Pool:
                 printPoint(roof, l.name.c_str(), s.opsPerByte(),
                            s.gops() * 32);
                 break;
-              }
               case LayerDesc::Kind::Fc: {
-                const SliceResult s = runFcLayer(l.inputs, l.outputs,
-                                                 frac);
                 if (batch == 1) {
                     printPoint(roof, l.name.c_str(), s.opsPerByte(),
                                s.gops());

@@ -14,14 +14,17 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common.hh"
 
 using namespace vip;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     const unsigned tile_w = 64, tile_h = 32, labels = 16;
 
     struct Config
@@ -42,15 +45,22 @@ main()
     std::printf("%-6s %12s %12s %10s\n", "config", "runtime(ms)",
                 "cycles", "vs SP+R");
 
-    double base_ms = 0;
+    // The four variants are independent simulations: sweep them in
+    // parallel and print in submission order.
+    std::vector<std::function<SliceResult()>> points;
+    for (const Config &c : configs) {
+        points.push_back([&, c] {
+            return runBpSweepVariant(tile_w, tile_h, labels,
+                                     c.reduction, c.registerFile);
+        });
+    }
+    const auto results = runSweep(points, opts.jobs);
+
+    const double base_ms = results[0].ms();
     double ms_of[4] = {};
     for (unsigned i = 0; i < 4; ++i) {
-        const SliceResult r = runBpSweepVariant(
-            tile_w, tile_h, labels, configs[i].reduction,
-            configs[i].registerFile);
+        const SliceResult &r = results[i];
         ms_of[i] = r.ms();
-        if (i == 0)
-            base_ms = r.ms();
         std::printf("%-6s %12.4f %12llu %9.2fx\n", configs[i].name,
                     r.ms(),
                     static_cast<unsigned long long>(r.cycles),

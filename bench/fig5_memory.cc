@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "common.hh"
@@ -47,20 +48,17 @@ knobList()
 int
 main(int argc, char **argv)
 {
-    const double frac = argc > 1 ? std::atof(argv[1]) : 0.3;
+    const BenchOptions opts = parseBenchOptions(argc, argv, 0.3);
+    const double frac = opts.frac;
+    const auto &knobs = knobList();
 
-    std::printf("=== Figure 5a: BP, full-HD iteration ===\n\n");
-    std::printf("%-12s %14s %14s\n", "config", "bandwidth(GB/s)",
-                "time(ms)");
-    for (const auto &k : knobList()) {
-        const SliceResult r = runBpTilePhase(60, 34, 16, 1, k.knobs);
-        std::printf("%-12s %14.1f %14.2f\n", k.name,
-                    r.bandwidthGBs() * 32, r.ms() * 32);
-        std::fflush(stdout);
+    // Sixteen independent points (8 memory configs x 2 workloads):
+    // sweep them all at once, then print by submission index.
+    std::vector<std::function<SliceResult()>> points;
+    for (const auto &k : knobs) {
+        points.push_back(
+            [&k] { return runBpTilePhase(60, 34, 16, 1, k.knobs); });
     }
-
-    std::printf("\n=== Figure 5b: VGG-16 convolution (c2_2 "
-                "representative tile, scaled) ===\n\n");
     // c2_2: 128 -> 128 channels at 112x112 — mid-network, z-sharded.
     LayerDesc layer;
     layer.kind = LayerDesc::Kind::Conv;
@@ -69,20 +67,34 @@ main(int argc, char **argv)
     layer.outChannels = 128;
     layer.inHeight = 112;
     layer.inWidth = 112;
+    for (const auto &k : knobs) {
+        points.push_back([&k, &layer, frac] {
+            return runConvShare(layer, 32, frac, k.knobs);
+        });
+    }
+    const auto results = runSweep(points, opts.jobs);
 
-    double base_ms = 0;
+    std::printf("=== Figure 5a: BP, full-HD iteration ===\n\n");
+    std::printf("%-12s %14s %14s\n", "config", "bandwidth(GB/s)",
+                "time(ms)");
+    for (std::size_t i = 0; i < knobs.size(); ++i) {
+        const SliceResult &r = results[i];
+        std::printf("%-12s %14.1f %14.2f\n", knobs[i].name,
+                    r.bandwidthGBs() * 32, r.ms() * 32);
+    }
+
+    std::printf("\n=== Figure 5b: VGG-16 convolution (c2_2 "
+                "representative tile, scaled) ===\n\n");
     std::printf("%-12s %14s %14s\n", "config", "bandwidth(GB/s)",
                 "vgg16(ms est)");
-    for (const auto &k : knobList()) {
-        const SliceResult r = runConvShare(layer, 32, frac, k.knobs);
-        if (base_ms == 0)
-            base_ms = r.ms();
-        // Anchor: the default config corresponds to the paper's
-        // ~32 ms full network; other configs scale by cycle ratio.
+    // Anchor: the default config corresponds to the paper's
+    // ~32 ms full network; other configs scale by cycle ratio.
+    const double base_ms = results[knobs.size()].ms();
+    for (std::size_t i = 0; i < knobs.size(); ++i) {
+        const SliceResult &r = results[knobs.size() + i];
         const double vgg_est = 32.3 * r.ms() / base_ms;
-        std::printf("%-12s %14.1f %14.2f\n", k.name,
+        std::printf("%-12s %14.1f %14.2f\n", knobs[i].name,
                     r.bandwidthGBs() * 32, vgg_est);
-        std::fflush(stdout);
     }
 
     std::printf("\npaper's qualitative findings to check against the "

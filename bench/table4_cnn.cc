@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,29 +33,54 @@ struct LayerTime
 };
 
 std::vector<LayerTime>
-measureNetwork(const std::vector<LayerDesc> &layers, double frac)
+measureNetwork(const std::vector<LayerDesc> &layers, double frac,
+               unsigned jobs)
 {
-    std::vector<LayerTime> out;
+    // Every layer is an independent tile simulation (Sec. V-A):
+    // sweep the whole network in parallel, then derive and print the
+    // per-layer times in network order.
+    std::vector<std::function<SliceResult()>> points;
     for (const auto &l : layers) {
-        LayerTime t;
-        t.name = l.name;
         switch (l.kind) {
           case LayerDesc::Kind::Conv: {
             // The paper uses half the vaults for the tiny c5 maps.
             const unsigned vaults = l.inWidth <= 14 ? 16 : 32;
-            const SliceResult s = runConvShare(l, vaults, frac);
+            points.push_back(
+                [l, vaults, frac] { return runConvShare(l, vaults, frac); });
+            break;
+          }
+          case LayerDesc::Kind::Pool:
+            points.push_back(
+                [l, frac] { return runPoolShare(l, 32, frac); });
+            break;
+          case LayerDesc::Kind::Fc:
+            points.push_back([l, frac] {
+                return runFcLayer(l.inputs, l.outputs, frac);
+            });
+            break;
+        }
+    }
+    const std::vector<SliceResult> results = runSweep(points, jobs);
+
+    std::vector<LayerTime> out;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerDesc &l = layers[i];
+        const SliceResult &s = results[i];
+        LayerTime t;
+        t.name = l.name;
+        switch (l.kind) {
+          case LayerDesc::Kind::Conv: {
+            const unsigned vaults = l.inWidth <= 14 ? 16 : 32;
             const double share = static_cast<double>(l.macs()) / vaults;
             t.ms = s.ms() * share / static_cast<double>(s.workItems);
             break;
           }
           case LayerDesc::Kind::Pool: {
-            const SliceResult s = runPoolShare(l, 32, frac);
             const double share = static_cast<double>(l.macs()) / 32.0;
             t.ms = s.ms() * share / static_cast<double>(s.workItems);
             break;
           }
           case LayerDesc::Kind::Fc: {
-            const SliceResult s = runFcLayer(l.inputs, l.outputs, frac);
             // workItems = simulated rows * inputs; the full layer is
             // outputs * inputs multiply-accumulates.
             const double scale = static_cast<double>(l.macs()) /
@@ -97,13 +123,14 @@ main(int argc, char **argv)
 {
     // A fraction of each layer's rows is simulated; pass a larger
     // fraction for higher fidelity.
-    const double frac = argc > 1 ? std::atof(argv[1]) : 0.3;
+    const BenchOptions opts = parseBenchOptions(argc, argv, 0.3);
+    const double frac = opts.frac;
 
     std::printf("=== Table IV: CNNs (simulated row fraction %.2f) "
                 "===\n\nVGG-16 layers:\n", frac);
-    const auto vgg16 = measureNetwork(vgg16Layers(), frac);
+    const auto vgg16 = measureNetwork(vgg16Layers(), frac, opts.jobs);
     std::printf("\nVGG-19 layers:\n");
-    const auto vgg19 = measureNetwork(vgg19Layers(), frac);
+    const auto vgg19 = measureNetwork(vgg19Layers(), frac, opts.jobs);
 
     const double v16_conv_b1 = totalMs(vgg16, 1, true);
     const double v16_b1 = totalMs(vgg16, 1, false);

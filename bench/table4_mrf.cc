@@ -14,6 +14,8 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common.hh"
 #include "model/baselines.hh"
@@ -22,8 +24,10 @@
 using namespace vip;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchOptions(argc, argv);
+
     std::printf("=== Table IV: Markov random fields (full-HD, 16 "
                 "labels) ===\n\n");
 
@@ -31,25 +35,31 @@ main()
     const unsigned tile_w = 60, tile_h = 34, labels = 16;
     const unsigned phases_per_iteration = 32;
 
-    std::printf("simulating one vault tile phase (%ux%u, L=%u)...\n",
-                tile_w, tile_h, labels);
-    const SliceResult fhd = runBpTilePhase(tile_w, tile_h, labels);
-    const double fhd_iter_ms = fhd.ms() * phases_per_iteration;
+    std::printf("simulating tile, construct, and copy phase slices "
+                "(%ux%u, L=%u)...\n", tile_w, tile_h, labels);
+    // The four phase measurements are independent simulations: sweep
+    // them in parallel, collect by submission index.
+    const std::vector<std::function<SliceResult()>> points = {
+        [&] { return runBpTilePhase(tile_w, tile_h, labels); },
+        [&] { return runBpTilePhase(tile_w / 2, tile_h / 2, labels); },
+        [&] { return runConstructPhase(512, 256, labels, 8); },
+        [&] { return runCopyPhase(512, 256, labels, 8); },
+    };
+    const auto results = runSweep(points, opts.jobs);
 
-    std::printf("simulating quarter-HD tile phase...\n");
-    const SliceResult qhd = runBpTilePhase(tile_w / 2, tile_h / 2,
-                                           labels);
+    const SliceResult &fhd = results[0];
+    const double fhd_iter_ms = fhd.ms() * phases_per_iteration;
+    const SliceResult &qhd = results[1];
     const double qhd_iter_ms = qhd.ms() * phases_per_iteration;
 
-    std::printf("simulating construct/copy phase slices...\n");
     // One vault handles 1/32nd of the coarse (construct) and fine
     // (copy) grids. Per-pixel cost is size-independent, so a
     // representative strip of a smaller grid scales by pixel count.
-    const SliceResult cons = runConstructPhase(512, 256, labels, 8);
+    const SliceResult &cons = results[2];
     const double construct_ms =
         cons.ms() * (960.0 * 540 / 32) /
         static_cast<double>(cons.workItems);
-    const SliceResult copy = runCopyPhase(512, 256, labels, 8);
+    const SliceResult &copy = results[3];
     const double copy_ms = copy.ms() * (1920.0 * 1080 / 32) /
                            static_cast<double>(copy.workItems);
 

@@ -1,7 +1,8 @@
 /**
  * @file
  * Quickstart: assemble a small VIP program from text (the paper's
- * Fig. 2 notation), run it on one simulated PE, and inspect results.
+ * Fig. 2 notation), run it on one simulated PE via the `Simulation`
+ * facade, and inspect results.
  *
  *   $ ./examples/quickstart
  *
@@ -14,9 +15,7 @@
 
 #include <cstdio>
 
-#include "isa/assembler.hh"
-#include "kernels/runner.hh"
-#include "system/system.hh"
+#include "system/simulation.hh"
 #include "workloads/mrf.hh"
 
 using namespace vip;
@@ -26,26 +25,24 @@ main()
 {
     // A one-vault, one-PE machine. makeSystemConfig(32, 4) would give
     // the paper's full 128-PE system.
-    SystemConfig cfg = makeSystemConfig(1, 1);
-    VipSystem sys(cfg);
+    Simulation sim(makeSystemConfig(1, 1));
 
     const unsigned L = 8;  // labels
 
     // Stage inputs in DRAM: a data-cost vector, three incoming
     // messages, and an L x L truncated-linear smoothness matrix.
-    const Addr data = sys.vaultBase(0);
+    const Addr data = sim.vaultBase();
     const Addr msg_a = data + 64, msg_b = msg_a + 64, msg_c = msg_b + 64;
     const Addr smooth = msg_c + 64;
     const Addr result = smooth + 1024;
+    std::vector<std::int16_t> costs, in_a, in_b, in_c;
     for (unsigned l = 0; l < L; ++l) {
-        sys.dram().store<Fx16>(data + 2 * l, static_cast<Fx16>(3 * l));
-        sys.dram().store<Fx16>(msg_a + 2 * l, static_cast<Fx16>(l));
-        sys.dram().store<Fx16>(msg_b + 2 * l,
-                               static_cast<Fx16>(10 - l));
-        sys.dram().store<Fx16>(msg_c + 2 * l, static_cast<Fx16>(2));
+        costs.push_back(static_cast<Fx16>(3 * l));
+        in_a.push_back(static_cast<Fx16>(l));
+        in_b.push_back(static_cast<Fx16>(10 - l));
+        in_c.push_back(static_cast<Fx16>(2));
     }
     const auto s = truncatedLinearSmoothness(L, 2, 6);
-    sys.dram().write(smooth, s.data(), s.size() * 2);
 
     // The kernel, in the paper's assembly notation. Scratchpad map:
     // smoothness at 0, operands at 512.., theta-hat at 768.
@@ -87,15 +84,22 @@ main()
                   (unsigned long long)smooth,
                   (unsigned long long)result, L * L);
 
-    const auto prog = assemble(src);
-    std::printf("assembled %zu instructions\n", prog.size());
+    // The whole stage-load-run workflow is one fluent chain.
+    const RunResult run =
+        sim.pokeDram(data, costs)
+            .pokeDram(msg_a, in_a)
+            .pokeDram(msg_b, in_b)
+            .pokeDram(msg_c, in_c)
+            .pokeDram(smooth, std::vector<std::int16_t>(s.begin(),
+                                                        s.end()))
+            .loadProgram(0, src)
+            .run();
 
-    sys.pe(0).loadProgram(prog);
-    const Cycles cycles = sys.run();
-
-    std::printf("finished in %llu cycles (%.1f ns at 1.25 GHz)\n",
-                static_cast<unsigned long long>(cycles),
-                static_cast<double>(cycles) * 0.8);
+    std::printf("finished in %llu cycles (%.1f ns at 1.25 GHz), "
+                "halted cleanly: %s\n",
+                static_cast<unsigned long long>(run.cycles),
+                static_cast<double>(run.cycles) * 0.8,
+                run.haltedCleanly ? "yes" : "no");
 
     // Cross-check against the reference semantics.
     std::printf("\n%-8s %10s %10s\n", "label", "simulated", "reference");
@@ -107,18 +111,19 @@ main()
                    static_cast<Fx16>(10 - l)),
             2);
     }
+    const auto got = sim.peekDram(result, L);
     bool all_ok = true;
     for (unsigned l = 0; l < L; ++l) {
         const Fx16 want = addMinReduce(s.data() + l * L, theta, L);
-        const Fx16 got = sys.dram().load<Fx16>(result + 2 * l);
-        std::printf("%-8u %10d %10d%s\n", l, got, want,
-                    got == want ? "" : "   <-- MISMATCH");
-        all_ok = all_ok && got == want;
+        std::printf("%-8u %10d %10d%s\n", l, got[l], want,
+                    got[l] == want ? "" : "   <-- MISMATCH");
+        all_ok = all_ok && got[l] == want;
     }
     std::printf("\n%s\n", all_ok ? "simulation matches the reference"
                                  : "MISMATCH");
     std::printf("vector ALU ops: %llu (3L + 2L^2 = %u)\n",
-                static_cast<unsigned long long>(sys.pe(0).vectorOps()),
+                static_cast<unsigned long long>(
+                    sim.system().pe(0).vectorOps()),
                 3 * L + 2 * L * L);
     return all_ok ? 0 : 1;
 }

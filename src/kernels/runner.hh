@@ -8,46 +8,15 @@
  * identical work. These helpers build correspondingly down-sized
  * systems (one vault for tile experiments, the full 8x4 machine for
  * end-to-end runs like the fully-connected layers).
+ *
+ * The implementations now live with the `Simulation` facade in
+ * system/simulation.hh; this header remains a thin alias so kernel
+ * code and existing users keep their familiar include.
  */
 
 #ifndef VIP_KERNELS_RUNNER_HH
 #define VIP_KERNELS_RUNNER_HH
 
-#include "system/system.hh"
-
-namespace vip {
-
-/** NoC grid dimensions used for a given vault count. */
-inline std::pair<unsigned, unsigned>
-nocDimsFor(unsigned vaults)
-{
-    switch (vaults) {
-      case 1: return {1, 1};
-      case 2: return {2, 1};
-      case 4: return {2, 2};
-      case 8: return {4, 2};
-      case 16: return {4, 4};
-      case 32: return {8, 4};
-      default: return {vaults, 1};
-    }
-}
-
-/**
- * A system configuration with @p vaults vaults (DRAM capacity is held
- * at the full stack's per-vault share) and @p pes_per_vault PEs.
- */
-inline SystemConfig
-makeSystemConfig(unsigned vaults = 32, unsigned pes_per_vault = 4)
-{
-    SystemConfig cfg;
-    cfg.mem.geom.vaults = vaults;
-    const auto [x, y] = nocDimsFor(vaults);
-    cfg.nocX = x;
-    cfg.nocY = y;
-    cfg.pesPerVault = pes_per_vault;
-    return cfg;
-}
-
-} // namespace vip
+#include "system/simulation.hh"
 
 #endif // VIP_KERNELS_RUNNER_HH

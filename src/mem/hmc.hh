@@ -42,6 +42,7 @@ class HmcStack
     unsigned numVaults() const { return static_cast<unsigned>(vaults_.size()); }
 
     DramStorage &storage() { return storage_; }
+    const DramStorage &storage() const { return storage_; }
     const AddressMapper &mapper() const { return mapper_; }
     const MemConfig &config() const { return cfg_; }
     StatGroup &stats() { return statGroup_; }

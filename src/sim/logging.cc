@@ -3,12 +3,19 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 
 namespace vip {
 
 namespace {
 
 std::atomic<std::size_t> warn_counter{0};
+
+/** Serializes writes to the sink so concurrent records never interleave. */
+std::mutex sink_mutex;
+
+/** Per-thread record tag (empty = untagged), set by the sweep engine. */
+thread_local std::string thread_label;
 
 const char *
 levelName(LogLevel level)
@@ -22,12 +29,37 @@ levelName(LogLevel level)
     return "?";
 }
 
+/** Format the complete record off-lock; one write() under the lock. */
+void
+emit(LogLevel level, const std::string &msg, const std::string &suffix)
+{
+    std::string line = "[";
+    line += levelName(level);
+    line += "] ";
+    if (!thread_label.empty()) {
+        line += "[";
+        line += thread_label;
+        line += "] ";
+    }
+    line += msg;
+    line += suffix;
+    line += "\n";
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 } // namespace
 
 std::size_t
 warnCount()
 {
     return warn_counter.load();
+}
+
+void
+setLogThreadLabel(std::string label)
+{
+    thread_label = std::move(label);
 }
 
 namespace detail {
@@ -37,14 +69,18 @@ logMessage(LogLevel level, const std::string &msg)
 {
     if (level == LogLevel::Warn)
         ++warn_counter;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    emit(level, msg, "");
 }
 
 void
 logAndDie(LogLevel level, const std::string &msg, const char *file, int line)
 {
-    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level), msg.c_str(),
-                 file, line);
+    std::string suffix = " (";
+    suffix += file;
+    suffix += ":";
+    suffix += std::to_string(line);
+    suffix += ")";
+    emit(level, msg, suffix);
     if (level == LogLevel::Panic)
         std::abort();
     std::exit(1);

@@ -7,6 +7,10 @@
  * is for user errors (bad configuration, malformed assembly) and exits
  * with an error code; warn()/inform() report conditions without stopping
  * the simulation.
+ *
+ * The sink is thread-safe: records are formatted off-lock, emitted as
+ * one atomic write each, and can carry a per-thread label (see
+ * setLogThreadLabel) so parallel sweep jobs remain attributable.
  */
 
 #ifndef VIP_SIM_LOGGING_HH
@@ -42,6 +46,13 @@ formatArgs(Args &&...args)
 
 /** Number of warnings emitted so far (exposed for tests). */
 std::size_t warnCount();
+
+/**
+ * Tag every log record emitted by the calling thread with @p label
+ * (e.g. "job7"); an empty label clears the tag. The SweepEngine sets
+ * this around each job so concurrent workers' records are attributable.
+ */
+void setLogThreadLabel(std::string label);
 
 template <typename... Args>
 void

@@ -1,8 +1,44 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
 #include "sim/logging.hh"
 
 namespace vip {
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";  // JSON has no NaN/Inf
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
 
 Counter::Counter(StatGroup *parent, std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
@@ -60,6 +96,63 @@ StatGroup::dumpImpl(std::ostream &os, const std::string &prefix) const
     }
     for (const auto *g : children_)
         g->dumpImpl(os, base);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\n  ";
+    jsonEscape(os, name_);
+    os << ": ";
+    dumpJsonImpl(os, 1);
+    os << "\n}\n";
+}
+
+void
+StatGroup::dumpJsonImpl(std::ostream &os, unsigned depth) const
+{
+    // Gather every member under one sorted key list so the emitted
+    // ordering is independent of registration order.
+    struct Entry
+    {
+        const std::string *key;
+        const Counter *counter = nullptr;
+        const Formula *formula = nullptr;
+        const StatGroup *group = nullptr;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(counters_.size() + formulas_.size() +
+                    children_.size());
+    for (const auto *c : counters_)
+        entries.push_back({&c->name(), c, nullptr, nullptr});
+    for (const auto &f : formulas_)
+        entries.push_back({&f.name, nullptr, &f, nullptr});
+    for (const auto *g : children_)
+        entries.push_back({&g->name(), nullptr, nullptr, g});
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &a, const Entry &b) {
+                         return *a.key < *b.key;
+                     });
+
+    const std::string pad((depth + 1) * 2, ' ');
+    os << "{";
+    bool first = true;
+    for (const auto &e : entries) {
+        os << (first ? "\n" : ",\n") << pad;
+        first = false;
+        jsonEscape(os, *e.key);
+        os << ": ";
+        if (e.counter) {
+            os << e.counter->value();
+        } else if (e.formula) {
+            jsonNumber(os, e.formula->fn());
+        } else {
+            e.group->dumpJsonImpl(os, depth + 1);
+        }
+    }
+    if (!first)
+        os << "\n" << std::string(depth * 2, ' ');
+    os << "}";
 }
 
 const Counter *

@@ -72,6 +72,15 @@ class StatGroup
     /** Write "name value # desc" lines for the whole subtree. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Write the subtree as one JSON object, `{"<name>": {...}}`, with
+     * counters as integers, formulas as doubles (non-finite values as
+     * null), and child groups as nested objects. Keys are emitted in
+     * sorted order regardless of registration order, so two dumps of
+     * equal stats are byte-identical and machine-diffable.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Find a counter by name within this group only; null if absent. */
     const Counter *findCounter(const std::string &name) const;
 
@@ -89,6 +98,7 @@ class StatGroup
     };
 
     void dumpImpl(std::ostream &os, const std::string &prefix) const;
+    void dumpJsonImpl(std::ostream &os, unsigned depth) const;
 
     std::string name_;
     std::vector<Counter *> counters_;

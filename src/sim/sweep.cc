@@ -1,0 +1,117 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vip {
+
+unsigned
+SweepEngine::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepEngine::SweepEngine(unsigned jobs)
+    : jobs_(jobs ? jobs : hardwareJobs())
+{
+    if (jobs_ == 1)
+        return;  // inline mode: no threads at all
+    workers_.reserve(jobs_);
+    for (unsigned w = 0; w < jobs_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+SweepEngine::~SweepEngine()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shuttingDown_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+SweepEngine::runJob(const Job &job)
+{
+    setLogThreadLabel("job" + std::to_string(job.index));
+    try {
+        job.fn();
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        errors_.emplace_back(job.index, std::current_exception());
+    }
+    setLogThreadLabel("");
+}
+
+void
+SweepEngine::workerLoop(unsigned)
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return !queue_.empty() || shuttingDown_;
+            });
+            if (queue_.empty())
+                return;  // shutting down and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        runJob(job);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+std::size_t
+SweepEngine::submit(std::function<void()> fn)
+{
+    if (jobs_ == 1) {
+        // Inline mode: run immediately on the caller's thread, in
+        // submission order — exactly the old serial behaviour.
+        const std::size_t index = nextIndex_++;
+        runJob(Job{index, std::move(fn)});
+        return index;
+    }
+    std::size_t index;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        vip_assert(!shuttingDown_, "submit after engine shutdown");
+        index = nextIndex_++;
+        queue_.push_back(Job{index, std::move(fn)});
+        ++inFlight_;
+    }
+    workAvailable_.notify_one();
+    return index;
+}
+
+void
+SweepEngine::wait()
+{
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    if (jobs_ == 1) {
+        errors.swap(errors_);
+    } else {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+        errors.swap(errors_);
+    }
+    if (errors.empty())
+        return;
+    // Deterministic error reporting: the lowest submission index wins,
+    // no matter which worker hit its exception first.
+    const auto first = std::min_element(
+        errors.begin(), errors.end(),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+}
+
+} // namespace vip

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel sweep engine: a fixed-size thread pool for running many
+ * independent simulations (bench sweep points, BP tiles, per-layer CNN
+ * slices) concurrently on host threads.
+ *
+ * The paper's methodology (Sec. V-A) measures one *independent tile*
+ * per data point — work that shares no simulated PEs, DRAM, or network
+ * with its peers — so a sweep is embarrassingly parallel across host
+ * cores. The engine enforces the determinism contract that makes this
+ * safe to exploit:
+ *
+ *  - **One VipSystem per thread.** Every job constructs, runs, and
+ *    destroys its own VipSystem; nothing simulated is shared between
+ *    jobs. `VipSystem::run()` asserts it is never entered concurrently.
+ *  - **Results keyed by submission index**, never by completion order:
+ *    `SweepEngine::run()` returns `results[i]` for `jobs[i]` no matter
+ *    which worker finished first.
+ *  - **Per-job seeded Rng.** Jobs must not share generators; derive a
+ *    seed from the submission index with `jobSeed()` (or seed locally
+ *    with a constant, as the bench harness does) so a point's input
+ *    data does not depend on scheduling.
+ *
+ * With `jobs == 1` the engine spawns no threads and runs every job
+ * inline on the calling thread, byte-identically reproducing the old
+ * serial behaviour.
+ */
+
+#ifndef VIP_SIM_SWEEP_HH
+#define VIP_SIM_SWEEP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vip {
+
+/** Deterministic per-job RNG seed (SplitMix64 scramble of the index). */
+inline std::uint64_t
+jobSeed(std::size_t index, std::uint64_t base = 0x9e3779b97f4a7c15ull)
+{
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+class SweepEngine
+{
+  public:
+    /**
+     * @param jobs  worker count; 0 picks the host's hardware
+     *              concurrency, 1 runs inline with no threads.
+     */
+    explicit SweepEngine(unsigned jobs = 0);
+
+    /** Joins the workers; pending jobs are completed first. */
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /** Number of jobs that can make progress at once (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /** The default worker count for `jobs == 0` (>= 1). */
+    static unsigned hardwareJobs();
+
+    /**
+     * Submit one job. Jobs may run on any worker thread, in any order;
+     * never share mutable state (a VipSystem, an Rng, a StatGroup)
+     * between jobs. @return the job's submission index.
+     */
+    std::size_t submit(std::function<void()> fn);
+
+    /**
+     * Block until every job submitted so far has finished. If any job
+     * threw, rethrows the exception of the lowest-indexed failed job
+     * (deterministic regardless of completion order).
+     */
+    void wait();
+
+    /**
+     * Run a whole sweep: execute every callable and return its results
+     * keyed by submission index. `R` must be default-constructible.
+     */
+    template <typename R>
+    std::vector<R>
+    run(const std::vector<std::function<R()>> &points)
+    {
+        std::vector<R> results(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            submit([&results, &points, i] { results[i] = points[i](); });
+        }
+        wait();
+        return results;
+    }
+
+  private:
+    struct Job
+    {
+        std::size_t index;
+        std::function<void()> fn;
+    };
+
+    void workerLoop(unsigned worker_id);
+    void runJob(const Job &job);
+
+    unsigned jobs_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::deque<Job> queue_;
+    std::size_t nextIndex_ = 0;   ///< submission counter
+    std::size_t inFlight_ = 0;    ///< queued + currently running
+    bool shuttingDown_ = false;
+
+    /** (submission index, exception) for failed jobs. */
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_SWEEP_HH

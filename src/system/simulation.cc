@@ -1,0 +1,45 @@
+#include "system/simulation.hh"
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace vip {
+
+Simulation &
+Simulation::loadProgram(unsigned pe, const std::string &source)
+{
+    AssemblyError err;
+    auto prog = assemble(source, &err);
+    if (!err.message.empty())
+        vip_fatal("assembly error at line ", err.line, ": ", err.message);
+    sys_.pe(pe).loadProgram(std::move(prog));
+    return *this;
+}
+
+RunResult
+Simulation::run(Cycles max_cycles)
+{
+    RunResult result;
+    result.cycles = sys_.run(max_cycles);
+    result.haltedCleanly = sys_.allIdle();
+    std::ostringstream os;
+    sys_.stats().dump(os);
+    result.stats = os.str();
+    return result;
+}
+
+std::vector<std::int16_t>
+Simulation::peekDram(Addr addr, std::size_t count) const
+{
+    std::vector<std::int16_t> values;
+    values.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        values.push_back(sys_.dram().load<std::int16_t>(
+            addr + 2 * static_cast<Addr>(i)));
+    }
+    return values;
+}
+
+} // namespace vip

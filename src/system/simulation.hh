@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The front door of the simulator: configuration helpers and the
+ * `Simulation` facade.
+ *
+ * Every host-side user of the machine — the command-line runner, the
+ * examples, the bench harness, tests — performs the same ritual:
+ * build a SystemConfig, construct a VipSystem, stage DRAM, assemble
+ * and load programs, run, then inspect memory and statistics. The
+ * facade packages that ritual behind a fluent API:
+ *
+ *   RunResult r = Simulation(makeSystemConfig(1, 1))
+ *                     .loadProgram(0, source_text)
+ *                     .pokeDram(addr, {3, 1, 4})
+ *                     .run(max_cycles);
+ *
+ * The facade owns its VipSystem and inherits its threading contract:
+ * one Simulation is confined to one host thread, and a parallel sweep
+ * (sim/sweep.hh) builds one Simulation per job.
+ */
+
+#ifndef VIP_SYSTEM_SIMULATION_HH
+#define VIP_SYSTEM_SIMULATION_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace vip {
+
+/** NoC grid dimensions used for a given vault count. */
+inline std::pair<unsigned, unsigned>
+nocDimsFor(unsigned vaults)
+{
+    switch (vaults) {
+      case 1: return {1, 1};
+      case 2: return {2, 1};
+      case 4: return {2, 2};
+      case 8: return {4, 2};
+      case 16: return {4, 4};
+      case 32: return {8, 4};
+      default: return {vaults, 1};
+    }
+}
+
+/**
+ * A system configuration with @p vaults vaults (DRAM capacity is held
+ * at the full stack's per-vault share) and @p pes_per_vault PEs.
+ */
+inline SystemConfig
+makeSystemConfig(unsigned vaults = 32, unsigned pes_per_vault = 4)
+{
+    SystemConfig cfg;
+    cfg.mem.geom.vaults = vaults;
+    const auto [x, y] = nocDimsFor(vaults);
+    cfg.nocX = x;
+    cfg.nocY = y;
+    cfg.pesPerVault = pes_per_vault;
+    return cfg;
+}
+
+/** What one Simulation::run() observed. */
+struct RunResult
+{
+    Cycles cycles = 0;  ///< total cycles simulated so far
+
+    /** Every PE halted and the machine drained (not a budget stop). */
+    bool haltedCleanly = false;
+
+    /** Text dump of the system's statistics tree at run end. */
+    std::string stats;
+
+    double ms() const { return cyclesToMs(cycles); }
+};
+
+/**
+ * Owns one simulated machine and exposes the whole
+ * stage-load-run-inspect workflow as a fluent API.
+ */
+class Simulation
+{
+  public:
+    /** Defaults to the paper's full 32-vault, 128-PE machine. */
+    explicit Simulation(const SystemConfig &cfg = makeSystemConfig())
+        : sys_(cfg)
+    {}
+
+    /**
+     * Assemble @p source (the paper's assembly notation) and load it
+     * onto PE @p pe; exits with a diagnostic on assembly errors. Use
+     * assemble() + the Instruction overload to handle errors yourself.
+     */
+    Simulation &loadProgram(unsigned pe, const std::string &source);
+
+    /** Load an already-assembled program onto PE @p pe. */
+    Simulation &
+    loadProgram(unsigned pe, std::vector<Instruction> prog)
+    {
+        sys_.pe(pe).loadProgram(std::move(prog));
+        return *this;
+    }
+
+    /** Seed an argument register on PE @p pe. */
+    Simulation &
+    setReg(unsigned pe, unsigned reg, std::uint64_t value)
+    {
+        sys_.pe(pe).setReg(reg, value);
+        return *this;
+    }
+
+    /** Store one 16-bit value into DRAM before (or between) runs. */
+    Simulation &
+    pokeDram(Addr addr, std::int16_t value)
+    {
+        sys_.dram().store<std::int16_t>(addr, value);
+        return *this;
+    }
+
+    /** Store consecutive 16-bit values starting at @p addr. */
+    Simulation &
+    pokeDram(Addr addr, const std::vector<std::int16_t> &values)
+    {
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            sys_.dram().store<std::int16_t>(
+                addr + 2 * static_cast<Addr>(i), values[i]);
+        }
+        return *this;
+    }
+
+    /** Attach a per-issue trace hook to PE @p pe. */
+    Simulation &
+    trace(unsigned pe, Pe::Tracer tracer)
+    {
+        sys_.pe(pe).setTracer(std::move(tracer));
+        return *this;
+    }
+
+    /**
+     * Run until the machine drains or @p max_cycles elapse (0 = no
+     * budget). Can be called again after loading further programs;
+     * cycles accumulate.
+     */
+    RunResult run(Cycles max_cycles = 0);
+
+    /** Read one 16-bit value back from DRAM. */
+    std::int16_t
+    peekDram(Addr addr) const
+    {
+        return sys_.dram().load<std::int16_t>(addr);
+    }
+
+    /** Read @p count consecutive 16-bit values starting at @p addr. */
+    std::vector<std::int16_t> peekDram(Addr addr, std::size_t count) const;
+
+    /** Start address of vault @p v's local DRAM region. */
+    Addr vaultBase(unsigned v = 0) const { return sys_.vaultBase(v); }
+
+    /** Escape hatch: the underlying machine, for anything not wrapped. */
+    VipSystem &system() { return sys_; }
+    const VipSystem &system() const { return sys_; }
+
+  private:
+    VipSystem sys_;
+};
+
+} // namespace vip
+
+#endif // VIP_SYSTEM_SIMULATION_HH

@@ -123,6 +123,9 @@ VipSystem::allIdle() const
 Cycles
 VipSystem::run(Cycles max_cycles)
 {
+    vip_assert(!running_.exchange(true, std::memory_order_acquire),
+               "VipSystem::run() entered concurrently; a system must "
+               "be confined to one thread (one system per sweep job)");
     const Cycles deadline = max_cycles == 0 ? ~Cycles{0}
                                             : now_ + max_cycles;
     std::uint64_t last_progress = ~std::uint64_t{0};
@@ -152,6 +155,7 @@ VipSystem::run(Cycles max_cycles)
             last_check = now_;
         }
     }
+    running_.store(false, std::memory_order_release);
     return now_;
 }
 

@@ -14,6 +14,7 @@
 #ifndef VIP_SYSTEM_SYSTEM_HH
 #define VIP_SYSTEM_SYSTEM_HH
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -57,7 +58,9 @@ class VipSystem
     }
 
     HmcStack &hmc() { return hmc_; }
+    const HmcStack &hmc() const { return hmc_; }
     DramStorage &dram() { return hmc_.storage(); }
+    const DramStorage &dram() const { return hmc_.storage(); }
     TorusNoc &noc() { return noc_; }
     const SystemConfig &config() const { return cfg_; }
 
@@ -75,6 +78,11 @@ class VipSystem
      * Run until every PE is idle (halted, no outstanding memory) and
      * the memory system has drained, or @p max_cycles elapse.
      * @return total cycles simulated so far.
+     *
+     * A VipSystem is confined to one host thread at a time: nothing in
+     * the machine is synchronized, so concurrent run()/tick() calls on
+     * the same instance are a caller bug (parallel sweeps must build
+     * one system per job — see sim/sweep.hh). run() asserts this.
      */
     Cycles run(Cycles max_cycles = 0);
 
@@ -108,6 +116,9 @@ class VipSystem
     std::vector<std::deque<std::unique_ptr<MemRequest>>> ingress_;
 
     Cycles now_ = 0;
+
+    /** Guards the one-thread-per-system invariant (see run()). */
+    std::atomic<bool> running_{false};
 };
 
 } // namespace vip

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the vip::Simulation facade and the parallel SweepEngine:
+ * end-to-end program execution through the fluent API, parallel-vs-
+ * serial sweep equivalence, error propagation, configuration helpers,
+ * and the JSON statistics dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/sweep.hh"
+#include "system/simulation.hh"
+
+namespace vip {
+namespace {
+
+/// The paper's Fig. 2-style dot product: A . B via m.v.mul.add with
+/// one matrix row; result stored as a single 16-bit word.
+const char *kDotProduct = R"(
+    mov.imm r1, 8
+    set.vl r1
+    mov.imm r2, 1
+    set.mr r2
+    mov.imm r10, 0x1000
+    mov.imm r11, 0x1100
+    mov.imm r12, 0x2000
+    mov.imm r20, 0
+    mov.imm r21, 64
+    mov.imm r22, 128
+    ld.sram[16] r20, r10, r1
+    ld.sram[16] r21, r11, r1
+    m.v.mul.add[16] r22, r20, r21
+    v.drain
+    st.sram[16] r22, r12, r2
+    memfence
+    halt
+)";
+
+TEST(Simulation, FluentDotProductEndToEnd)
+{
+    const std::vector<std::int16_t> a = {2, 3, 5, 7, 11, 13, 17, 19};
+    const std::vector<std::int16_t> b = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::int16_t want = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        want = static_cast<std::int16_t>(want + a[i] * b[i]);
+
+    Simulation sim(makeSystemConfig(1, 1));
+    const RunResult result = sim.pokeDram(0x1000, a)
+                                 .pokeDram(0x1100, b)
+                                 .loadProgram(0, kDotProduct)
+                                 .run();
+
+    EXPECT_TRUE(result.haltedCleanly);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.ms(), 0.0);
+    EXPECT_NE(result.stats.find("cycles"), std::string::npos);
+    EXPECT_EQ(sim.peekDram(0x2000), want);
+    EXPECT_EQ(sim.peekDram(0x2000, 1),
+              std::vector<std::int16_t>{want});
+}
+
+TEST(Simulation, RunResultReportsBudgetExhaustion)
+{
+    // An empty program never halts; a tiny budget must end the run
+    // with haltedCleanly == false.
+    Simulation sim(makeSystemConfig(1, 1));
+    sim.loadProgram(0, "spin:\n    jmp spin\n");
+    const RunResult result = sim.run(64);
+    EXPECT_FALSE(result.haltedCleanly);
+    EXPECT_GE(result.cycles, 64u);
+}
+
+TEST(Simulation, NocDimsForCoversPowersOfTwoAndFallback)
+{
+    const auto check = [](unsigned vaults, unsigned x, unsigned y) {
+        const auto d = nocDimsFor(vaults);
+        EXPECT_EQ(d.first, x) << vaults << " vaults";
+        EXPECT_EQ(d.second, y) << vaults << " vaults";
+        EXPECT_EQ(d.first * d.second, vaults);
+    };
+    check(1, 1, 1);
+    check(2, 2, 1);
+    check(4, 2, 2);
+    check(8, 4, 2);
+    check(16, 4, 4);
+    check(32, 8, 4);
+    // Non-power-of-two counts degrade to a 1-D ring.
+    check(3, 3, 1);
+    check(6, 6, 1);
+}
+
+TEST(Simulation, MakeSystemConfigMatchesNocDims)
+{
+    for (const unsigned vaults : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const SystemConfig cfg = makeSystemConfig(vaults, 4);
+        EXPECT_EQ(cfg.mem.geom.vaults, vaults);
+        EXPECT_EQ(cfg.nocX * cfg.nocY, vaults);
+        EXPECT_EQ(cfg.pesPerVault, 4u);
+    }
+}
+
+/// One independent sweep point: run the dot product on fresh inputs
+/// derived from the point index and return the simulated result word.
+std::int16_t
+dotPoint(std::size_t index)
+{
+    std::vector<std::int16_t> a, b;
+    for (unsigned i = 0; i < 8; ++i) {
+        a.push_back(static_cast<std::int16_t>(index + i + 1));
+        b.push_back(static_cast<std::int16_t>(2 * i + 1));
+    }
+    Simulation sim(makeSystemConfig(1, 1));
+    sim.pokeDram(0x1000, a).pokeDram(0x1100, b)
+        .loadProgram(0, kDotProduct).run();
+    return sim.peekDram(0x2000);
+}
+
+TEST(SweepEngine, ParallelMatchesSerial)
+{
+    std::vector<std::function<std::int16_t()>> points;
+    for (std::size_t i = 0; i < 12; ++i)
+        points.push_back([i] { return dotPoint(i); });
+
+    SweepEngine serial(1);
+    const std::vector<std::int16_t> want = serial.run(points);
+    ASSERT_EQ(want.size(), points.size());
+
+    SweepEngine pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    EXPECT_EQ(pool.run(points), want);
+}
+
+TEST(SweepEngine, ResultsKeyedBySubmissionIndex)
+{
+    std::vector<std::function<int()>> points;
+    for (int i = 0; i < 64; ++i)
+        points.push_back([i] { return 1000 + i; });
+    SweepEngine engine(3);
+    const std::vector<int> results = engine.run(points);
+    ASSERT_EQ(results.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(results[i], 1000 + i);
+}
+
+TEST(SweepEngine, RethrowsLowestIndexError)
+{
+    std::vector<std::function<int()>> points;
+    for (int i = 0; i < 8; ++i) {
+        points.push_back([i]() -> int {
+            if (i == 2 || i == 5)
+                throw std::runtime_error("point " + std::to_string(i));
+            return i;
+        });
+    }
+    SweepEngine engine(2);
+    try {
+        engine.run(points);
+        FAIL() << "expected the sweep to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "point 2");
+    }
+}
+
+TEST(SweepEngine, JobSeedIsDeterministicAndDistinct)
+{
+    EXPECT_EQ(jobSeed(7), jobSeed(7));
+    EXPECT_NE(jobSeed(0), jobSeed(1));
+    EXPECT_NE(jobSeed(1), jobSeed(2));
+    EXPECT_NE(jobSeed(3, 1), jobSeed(3, 2));
+}
+
+TEST(Stats, DumpJsonSortsKeysAndIsStable)
+{
+    StatGroup root("root");
+    StatGroup zeta("zeta", &root);
+    StatGroup alpha("alpha", &root);
+    Counter c(&root, "charlie", "third");
+    Counter a(&root, "able", "first");
+    Counter z(&zeta, "zz", "nested");
+    c += 3;
+    a += 1;
+    z += 9;
+    root.addFormula("baker", "in between", [] { return 0.5; });
+
+    std::ostringstream first, second;
+    root.dumpJson(first);
+    root.dumpJson(second);
+    EXPECT_EQ(first.str(), second.str());
+
+    const std::string json = first.str();
+    // Keys appear in sorted order regardless of registration order.
+    const auto p_able = json.find("\"able\"");
+    const auto p_alpha = json.find("\"alpha\"");
+    const auto p_baker = json.find("\"baker\"");
+    const auto p_charlie = json.find("\"charlie\"");
+    const auto p_zeta = json.find("\"zeta\"");
+    ASSERT_NE(p_able, std::string::npos);
+    ASSERT_NE(p_alpha, std::string::npos);
+    ASSERT_NE(p_baker, std::string::npos);
+    ASSERT_NE(p_charlie, std::string::npos);
+    ASSERT_NE(p_zeta, std::string::npos);
+    EXPECT_LT(p_able, p_alpha);
+    EXPECT_LT(p_alpha, p_baker);
+    EXPECT_LT(p_baker, p_charlie);
+    EXPECT_LT(p_charlie, p_zeta);
+    EXPECT_NE(json.find("\"charlie\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"baker\": 0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"zz\": 9"), std::string::npos);
+}
+
+} // namespace
+} // namespace vip

@@ -12,6 +12,8 @@
  *     --dump-sp A,N        print N int16 scratchpad values
  *     --dump-regs          print the scalar register file
  *     --stats              dump the statistics tree
+ *     --json-stats FILE    write the statistics tree as JSON (stable
+ *                          key order; "-" writes to stdout)
  *     --max-cycles N       simulation budget (default 100M)
  *     --strict             panic on vector timing hazards
  *
@@ -24,13 +26,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "isa/assembler.hh"
-#include "kernels/runner.hh"
-#include "system/system.hh"
+#include "system/simulation.hh"
 
 using namespace vip;
 
@@ -49,7 +51,8 @@ usage()
                  "usage: vip-run <prog.s> [--reg N=V] [--dram A=V] "
                  "[--dump-dram A,N]\n"
                  "       [--dump-sp A,N] [--dump-regs] [--stats] "
-                 "[--max-cycles N] [--strict] [--trace]\n");
+                 "[--json-stats FILE]\n"
+                 "       [--max-cycles N] [--strict] [--trace]\n");
     return 2;
 }
 
@@ -59,6 +62,7 @@ int
 main(int argc, char **argv)
 {
     std::string source_path;
+    std::string json_stats_path;
     std::vector<std::pair<unsigned, std::uint64_t>> regs;
     std::vector<std::pair<Addr, std::int16_t>> pokes;
     std::vector<std::pair<Addr, unsigned>> dump_dram, dump_sp;
@@ -96,6 +100,8 @@ main(int argc, char **argv)
             dump_regs = true;
         } else if (arg == "--stats") {
             want_stats = true;
+        } else if (arg == "--json-stats") {
+            json_stats_path = next();
         } else if (arg == "--strict") {
             strict = true;
         } else if (arg == "--trace") {
@@ -120,8 +126,9 @@ main(int argc, char **argv)
     std::ostringstream ss;
     ss << in.rdbuf();
 
+    // Assemble outside the facade so errors carry the source path.
     AssemblyError err;
-    const auto prog = assemble(ss.str(), &err);
+    auto prog = assemble(ss.str(), &err);
     if (!err.message.empty()) {
         std::fprintf(stderr, "%s:%u: error: %s\n", source_path.c_str(),
                      err.line, err.message.c_str());
@@ -130,27 +137,28 @@ main(int argc, char **argv)
 
     SystemConfig cfg = makeSystemConfig(1, 1);
     cfg.pe.strictHazards = strict;
-    VipSystem sys(cfg);
+    Simulation sim(cfg);
     for (const auto &[addr, val] : pokes)
-        sys.dram().store<std::int16_t>(addr, val);
+        sim.pokeDram(addr, val);
     for (const auto &[r, v] : regs)
-        sys.pe(0).setReg(r, v);
+        sim.setReg(0, r, v);
     if (trace) {
-        sys.pe(0).setTracer([](Cycles at, std::size_t pc,
-                               const Instruction &inst) {
+        sim.trace(0, [](Cycles at, std::size_t pc,
+                        const Instruction &inst) {
             std::printf("%8llu  %4zu: %s\n",
                         static_cast<unsigned long long>(at), pc,
                         disassemble(inst).c_str());
         });
     }
-    sys.pe(0).loadProgram(prog);
+    sim.loadProgram(0, std::move(prog));
 
-    const Cycles cycles = sys.run(max_cycles);
+    const RunResult result = sim.run(max_cycles);
     std::printf("halted=%d cycles=%llu (%.3f us)\n",
-                sys.pe(0).halted(),
-                static_cast<unsigned long long>(cycles),
-                static_cast<double>(cycles) * 0.8e-3);
+                result.haltedCleanly,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<double>(result.cycles) * 0.8e-3);
 
+    VipSystem &sys = sim.system();
     if (dump_regs) {
         for (unsigned r = 0; r < kNumScalarRegs; r += 4) {
             std::printf("r%-2u %16llx  r%-2u %16llx  r%-2u %16llx  "
@@ -171,16 +179,24 @@ main(int argc, char **argv)
     }
     for (const auto &[addr, count] : dump_dram) {
         std::printf("dram[0x%llx]:", (unsigned long long)addr);
-        for (unsigned k = 0; k < count; ++k) {
-            std::printf(" %d",
-                        sys.dram().load<std::int16_t>(addr + 2 * k));
-        }
+        for (const std::int16_t v : sim.peekDram(addr, count))
+            std::printf(" %d", v);
         std::printf("\n");
     }
-    if (want_stats) {
-        std::ostringstream os;
-        sys.stats().dump(os);
-        std::fputs(os.str().c_str(), stdout);
+    if (want_stats)
+        std::fputs(result.stats.c_str(), stdout);
+    if (!json_stats_path.empty()) {
+        if (json_stats_path == "-") {
+            sys.stats().dumpJson(std::cout);
+        } else {
+            std::ofstream os(json_stats_path);
+            if (!os) {
+                std::fprintf(stderr, "vip-run: cannot write %s\n",
+                             json_stats_path.c_str());
+                return 1;
+            }
+            sys.stats().dumpJson(os);
+        }
     }
     return 0;
 }
