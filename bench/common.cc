@@ -19,6 +19,13 @@
 
 namespace vip {
 
+namespace {
+
+/** Set by --no-fast-forward; read by every run* helper below. */
+bool g_fast_forward = true;
+
+} // namespace
+
 BenchOptions
 parseBenchOptions(int argc, char **argv, double default_frac)
 {
@@ -26,7 +33,10 @@ parseBenchOptions(int argc, char **argv, double default_frac)
     opts.frac = default_frac;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--jobs") == 0) {
+        if (std::strcmp(arg, "--no-fast-forward") == 0) {
+            opts.fastForward = false;
+            g_fast_forward = false;
+        } else if (std::strcmp(arg, "--jobs") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: --jobs needs a count\n",
                              argv[0]);
@@ -44,8 +54,8 @@ parseBenchOptions(int argc, char **argv, double default_frac)
             opts.frac = std::atof(arg);
         } else {
             std::fprintf(stderr,
-                         "usage: %s %s[--jobs N]\n", argv[0],
-                         default_frac > 0 ? "[FRAC] " : "");
+                         "usage: %s %s[--jobs N] [--no-fast-forward]\n",
+                         argv[0], default_frac > 0 ? "[FRAC] " : "");
             std::exit(2);
         }
     }
@@ -97,6 +107,7 @@ runBpTilePhase(unsigned tile_w, unsigned tile_h, unsigned labels,
                unsigned iterations, const MemKnobs &knobs)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.fastForward = g_fast_forward;
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
 
@@ -144,6 +155,7 @@ runBpSweepVariant(unsigned tile_w, unsigned tile_h, unsigned labels,
                   bool reduction, bool register_file)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.fastForward = g_fast_forward;
     Simulation sim(cfg);
     MrfDramLayout layout(sim.vaultBase(), tile_w, tile_h, labels);
 
@@ -172,6 +184,7 @@ runConvShare(const LayerDesc &layer, unsigned vaults_active,
 {
     vip_assert(layer.kind == LayerDesc::Kind::Conv, "not a conv layer");
     SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.fastForward = g_fast_forward;
     applyKnobs(cfg.mem, knobs);
 
     const unsigned in_c = layer.inChannels;
@@ -271,6 +284,7 @@ runPoolShare(const LayerDesc &layer, unsigned vaults_active,
 {
     vip_assert(layer.kind == LayerDesc::Kind::Pool, "not a pool layer");
     SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.fastForward = g_fast_forward;
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
 
@@ -311,6 +325,7 @@ runFcLayer(unsigned inputs, unsigned outputs, double row_fraction,
            const MemKnobs &knobs)
 {
     SystemConfig cfg = makeSystemConfig(32, 4);
+    cfg.fastForward = g_fast_forward;
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
     VipSystem &sys = sim.system();
@@ -397,6 +412,7 @@ runConstructPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
                   unsigned coarse_rows)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.fastForward = g_fast_forward;
     Simulation sim(cfg);
     MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
     MrfDramLayout coarse(fine.end() + 64, fine_w / 2, fine_h / 2,
@@ -421,6 +437,7 @@ runCopyPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
              unsigned fine_rows)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.fastForward = g_fast_forward;
     Simulation sim(cfg);
     MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
     MrfDramLayout coarse(fine.end() + 64, fine_w / 2, fine_h / 2,
@@ -444,6 +461,7 @@ SliceResult
 runStreamCopy(std::uint64_t bytes_per_pe, const MemKnobs &knobs)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.fastForward = g_fast_forward;
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
 

@@ -70,9 +70,18 @@ struct BenchOptions
 {
     unsigned jobs = 0;  ///< sweep threads; 0 = hardware concurrency
     double frac = 0;    ///< bench-specific fidelity fraction
+
+    /** False after --no-fast-forward: tick every dead cycle. */
+    bool fastForward = true;
 };
 
-/** Parse `[FRAC] [--jobs N]`; exits with usage on bad arguments. */
+/**
+ * Parse `[FRAC] [--jobs N] [--no-fast-forward]`; exits with usage on
+ * bad arguments. `--no-fast-forward` also applies globally: every
+ * subsequent run* helper in this translation unit builds its systems
+ * without the event-horizon warp (results are identical either way;
+ * the flag exists to measure and regression-test exactly that).
+ */
 BenchOptions parseBenchOptions(int argc, char **argv,
                                double default_frac = 0);
 

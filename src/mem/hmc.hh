@@ -7,17 +7,19 @@
 #ifndef VIP_MEM_HMC_HH
 #define VIP_MEM_HMC_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "mem/addrmap.hh"
 #include "mem/storage.hh"
 #include "mem/vault.hh"
+#include "sim/clocked.hh"
 #include "sim/stats.hh"
 
 namespace vip {
 
-class HmcStack
+class HmcStack : public Clocked
 {
   public:
     explicit HmcStack(const MemConfig &cfg, StatGroup *parent = nullptr);
@@ -29,10 +31,23 @@ class HmcStack
     unsigned homeVault(Addr addr) const { return mapper_.decode(addr).vault; }
 
     void
-    tick(Cycles now)
+    tick(Cycles now) override
     {
         for (auto &v : vaults_)
             v->tick(now);
+    }
+
+    /** Earliest event over all vault controllers. */
+    Cycles
+    nextEventAt(Cycles now) const override
+    {
+        Cycles next = kIdleForever;
+        for (const auto &v : vaults_) {
+            next = std::min(next, v->nextEventAt(now));
+            if (next <= now)
+                break;
+        }
+        return next;
     }
 
     bool idle() const;

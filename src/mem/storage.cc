@@ -54,4 +54,29 @@ DramStorage::write(Addr addr, const void *src, std::size_t bytes)
     }
 }
 
+std::uint64_t
+DramStorage::fingerprint() const
+{
+    // FNV-1a per page (seeded with the page number so content at the
+    // wrong address cannot cancel out), XOR-combined across pages so
+    // the digest is independent of hash-map iteration order.
+    std::uint64_t digest = 0;
+    for (const auto &[page_no, page] : pages_) {
+        const std::uint8_t *bytes = page.get();
+        const bool all_zero = std::all_of(bytes, bytes + kPageBytes,
+                                          [](std::uint8_t b) {
+                                              return b == 0;
+                                          });
+        if (all_zero)
+            continue;
+        std::uint64_t h = 0xcbf29ce484222325ULL ^ page_no;
+        for (std::size_t i = 0; i < kPageBytes; ++i) {
+            h ^= bytes[i];
+            h *= 0x100000001b3ULL;
+        }
+        digest ^= h;
+    }
+    return digest;
+}
+
 } // namespace vip

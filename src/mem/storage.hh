@@ -49,6 +49,16 @@ class DramStorage
     /** Number of pages touched so far (footprint proxy). */
     std::size_t touchedPages() const { return pages_.size(); }
 
+    /**
+     * Order-independent digest of DRAM contents. All-zero pages are
+     * ignored, so a page that was touched but never written differs in
+     * nothing from an untouched one — two runs of the same program are
+     * content-equal iff their fingerprints match, regardless of which
+     * pages each happened to allocate. Used by the fast-forward
+     * equivalence tests to assert architectural state is identical.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     const std::uint8_t *pageFor(Addr addr) const;
     std::uint8_t *pageForWrite(Addr addr);

@@ -227,6 +227,44 @@ VaultController::tick(Cycles now)
     progressOldest(now);
 }
 
+Cycles
+VaultController::nextEventAt(Cycles now) const
+{
+    Cycles next = kIdleForever;
+    if (!completions_.empty())
+        next = std::max(completions_.top().at, now);
+
+    // Refresh fires unconditionally at its deadline (and changes bank
+    // state and the refresh counter), so it is always a hard event.
+    next = std::min(next, std::max(nextRefreshAt_, now));
+
+    if (columns_.empty() || next <= now)
+        return next;
+
+    // No command issues while the refresh window is open.
+    const Cycles floor = std::max(now, refreshUntil_);
+    for (const ColumnAccess &ca : columns_) {
+        const Bank &bank = banks_[ca.bank];
+        Cycles cand;
+        if (bank.rowOpen && bank.openRow == ca.row) {
+            // Row hit: gated by tRCD, this bank's tCCD, and the
+            // vault-wide data-bus (tBurst) constraint.
+            cand = std::max({floor, bank.colAllowedAt,
+                             bank.colCmdAllowedAt, colIssueAllowedAt_});
+        } else if (bank.rowOpen) {
+            // Conflict: the wrong row closes once tRAS/tWR allow.
+            cand = std::max(floor, bank.preAllowedAt);
+        } else {
+            // Precharged: activates once tRP/tRFC allow.
+            cand = std::max(floor, bank.actAllowedAt);
+        }
+        next = std::min(next, cand);
+        if (next <= now)
+            break;
+    }
+    return next;
+}
+
 unsigned
 VaultController::pendingTransactions() const
 {

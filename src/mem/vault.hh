@@ -17,13 +17,14 @@
 #include "mem/addrmap.hh"
 #include "mem/request.hh"
 #include "mem/timing.hh"
+#include "sim/clocked.hh"
 #include "sim/histogram.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace vip {
 
-class VaultController
+class VaultController : public Clocked
 {
   public:
     VaultController(unsigned vaultId, const MemConfig &cfg,
@@ -37,7 +38,25 @@ class VaultController
     bool enqueue(std::unique_ptr<MemRequest> req);
 
     /** Advance one clock cycle: retire data, issue at most one command. */
-    void tick(Cycles now);
+    void tick(Cycles now) override;
+
+    /**
+     * Earliest cycle this vault could act: the head of the completion
+     * queue, the next refresh deadline, or the earliest cycle any
+     * queued column access clears its timing constraints (tRCD/tCCD/
+     * tBurst for a row hit; tRP/tRAS precharge or tRFC/activate
+     * windows for row-state progress). Conservative — the FR-FCFS
+     * passes may pick a different access — but never late.
+     */
+    Cycles nextEventAt(Cycles now) const override;
+
+    /** Head of the completion queue (kIdleForever when empty): the
+     *  next cycle this vault could free a transaction slot. */
+    Cycles
+    nextCompletionAt() const
+    {
+        return completions_.empty() ? kIdleForever : completions_.top().at;
+    }
 
     /**
      * Handler receiving ownership of completed transactions. When set

@@ -16,11 +16,13 @@
 #ifndef VIP_NOC_TORUS_HH
 #define VIP_NOC_TORUS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/clocked.hh"
 #include "sim/histogram.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -53,7 +55,7 @@ struct Packet
     bool ejected = false;
 };
 
-class TorusNoc
+class TorusNoc : public Clocked
 {
   public:
     /** Per-hop router+link latency (cycles). */
@@ -77,7 +79,16 @@ class TorusNoc
     void send(Packet pkt, Cycles now);
 
     /** Deliver every packet whose arrival time has been reached. */
-    void tick(Cycles now);
+    void tick(Cycles now) override;
+
+    /** The network is purely event-driven: its next state change is
+     *  the head of the (time-ordered) event queue. */
+    Cycles
+    nextEventAt(Cycles now) const override
+    {
+        return events_.empty() ? kIdleForever
+                               : std::max(events_.top().at, now);
+    }
 
     bool idle() const { return events_.empty(); }
 

@@ -9,7 +9,9 @@ namespace vip {
 
 namespace {
 
-constexpr Cycles kNeverReady = std::numeric_limits<Cycles>::max();
+/** A register waiting on a memory response: ready only when the
+ *  completion event (an external wake-up) lands. */
+constexpr Cycles kNeverReady = kIdleForever;
 
 std::int64_t
 saturate(std::int64_t v, ElemWidth w)
@@ -125,6 +127,8 @@ Pe::loadProgram(std::vector<Instruction> prog)
     prog_ = std::move(prog);
     pc_ = 0;
     halted_ = prog_.empty();
+    stallCounter_ = nullptr;
+    stallWakeAt_ = 0;
 }
 
 void
@@ -148,36 +152,81 @@ Pe::regReady(unsigned r, Cycles now) const
     return regReadyAt_[r] <= now;
 }
 
-bool
-Pe::regsReady(const Instruction &inst, Cycles now) const
+unsigned
+Pe::gatingRegs(const Instruction &inst, unsigned out[3]) const
 {
     switch (inst.op) {
       case Opcode::SetVl:
       case Opcode::SetMr:
-        return regReady(inst.rs1, now);
+        out[0] = inst.rs1;
+        return 1;
       case Opcode::MatVec:
       case Opcode::VecVec:
       case Opcode::VecScalar:
       case Opcode::LdSram:
       case Opcode::StSram:
-        return regReady(inst.rd, now) && regReady(inst.rs1, now) &&
-               regReady(inst.rs2, now);
+        out[0] = inst.rd;
+        out[1] = inst.rs1;
+        out[2] = inst.rs2;
+        return 3;
       case Opcode::ScalarRR:
-        return regReady(inst.rs1, now) && regReady(inst.rs2, now);
+      case Opcode::Branch:
+        out[0] = inst.rs1;
+        out[1] = inst.rs2;
+        return 2;
       case Opcode::ScalarRI:
       case Opcode::Mov:
-        return regReady(inst.rs1, now);
-      case Opcode::MovImm:
-        return true;
-      case Opcode::Branch:
-        return regReady(inst.rs1, now) && regReady(inst.rs2, now);
       case Opcode::LdReg:
-        return regReady(inst.rs1, now);
+        out[0] = inst.rs1;
+        return 1;
       case Opcode::StReg:
-        return regReady(inst.rd, now) && regReady(inst.rs1, now);
+        out[0] = inst.rd;
+        out[1] = inst.rs1;
+        return 2;
       default:
-        return true;
+        return 0;
     }
+}
+
+bool
+Pe::regsReady(const Instruction &inst, Cycles now) const
+{
+    unsigned regs[3];
+    const unsigned n = gatingRegs(inst, regs);
+    for (unsigned i = 0; i < n; ++i) {
+        if (!regReady(regs[i], now))
+            return false;
+    }
+    return true;
+}
+
+Cycles
+Pe::regsWakeAt(const Instruction &inst) const
+{
+    unsigned regs[3];
+    const unsigned n = gatingRegs(inst, regs);
+    Cycles wake = 0;
+    for (unsigned i = 0; i < n; ++i)
+        wake = std::max(wake, regReadyAt_[regs[i]]);
+    return wake;
+}
+
+Cycles
+Pe::earliestVecArcRetireAt() const
+{
+    Cycles wake = kIdleForever;
+    for (const auto &[at, id] : vecArcPending_)
+        wake = std::min(wake, at);
+    return wake;
+}
+
+bool
+Pe::stallFor(Counter &counter, Cycles wake_at)
+{
+    counter += 1;
+    stallCounter_ = &counter;
+    stallWakeAt_ = wake_at;
+    return false;
 }
 
 std::int64_t
@@ -228,10 +277,8 @@ Pe::checkReadHazard(SpAddr addr, unsigned bytes, Cycles now)
 bool
 Pe::issueConfig(const Instruction &inst, Cycles now)
 {
-    if (!regsReady(inst, now)) {
-        stats_.stallScalar += 1;
-        return false;
-    }
+    if (!regsReady(inst, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(inst));
     if (inst.op == Opcode::SetVl) {
         vl_ = regs_[inst.rs1];
         vip_assert(vl_ > 0 && vl_ <= Scratchpad::kBytes,
@@ -247,10 +294,8 @@ Pe::issueConfig(const Instruction &inst, Cycles now)
 bool
 Pe::issueScalar(const Instruction &inst, Cycles now)
 {
-    if (!regsReady(inst, now)) {
-        stats_.stallScalar += 1;
-        return false;
-    }
+    if (!regsReady(inst, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(inst));
     const auto a = static_cast<std::int64_t>(regs_[inst.rs1]);
     std::int64_t result = 0;
     switch (inst.op) {
@@ -278,10 +323,8 @@ Pe::issueScalar(const Instruction &inst, Cycles now)
 bool
 Pe::issueBranch(const Instruction &inst, Cycles now)
 {
-    if (!regsReady(inst, now)) {
-        stats_.stallScalar += 1;
-        return false;
-    }
+    if (!regsReady(inst, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(inst));
     if (inst.op == Opcode::Jmp) {
         pc_ = static_cast<std::size_t>(inst.imm);
         return true;
@@ -365,14 +408,10 @@ Pe::execVector(const Instruction &inst, Cycles now, Cycles done_at)
 bool
 Pe::issueVector(const Instruction &inst, Cycles now)
 {
-    if (!regsReady(inst, now)) {
-        stats_.stallScalar += 1;
-        return false;
-    }
-    if (now < vectorBusyUntil_) {
-        stats_.stallVectorBusy += 1;
-        return false;
-    }
+    if (!regsReady(inst, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(inst));
+    if (now < vectorBusyUntil_)
+        return stallFor(stats_.stallVectorBusy, vectorBusyUntil_);
     vip_assert(vl_ > 0, "vector instruction with VL unset");
 
     const unsigned w = widthBytes(inst.width);
@@ -412,8 +451,11 @@ Pe::issueVector(const Instruction &inst, Cycles now)
                    ") outside the scratchpad");
         if (arc_.overlaps(ranges[i].start,
                           ranges[i].start + ranges[i].bytes)) {
-            stats_.stallArc += 1;
-            return false;
+            // The blocking entry is either a vector-pipeline entry
+            // (known retirement time) or a memory entry cleared by a
+            // completion event; either way the earliest pipeline
+            // retirement is a safe (never-late) wake estimate.
+            return stallFor(stats_.stallArc, earliestVecArcRetireAt());
         }
     }
 
@@ -432,10 +474,8 @@ Pe::issueVector(const Instruction &inst, Cycles now)
         // instructions stall instead of observing the timing shadow.
         const auto &dst = ranges[nranges - 1];
         const int id = arc_.allocate(dst.start, dst.start + dst.bytes);
-        if (id < 0) {
-            stats_.stallArc += 1;
-            return false;
-        }
+        if (id < 0)
+            return stallFor(stats_.stallArc, earliestVecArcRetireAt());
         vecArcPending_.emplace_back(done_at, id);
     }
 
@@ -471,8 +511,8 @@ Pe::issueDramTransfer(Addr dram, unsigned bytes, bool is_write, int arc_id,
         }
     }
     if (lsqLive_ + pieces > cfg_.lsqEntries) {
-        stats_.stallLsq += 1;
-        return false;
+        // Entries free when responses arrive: an external wake-up.
+        return stallFor(stats_.stallLsq, kIdleForever);
     }
 
     auto pending = std::make_shared<unsigned>(pieces);
@@ -515,10 +555,8 @@ Pe::issueDramTransfer(Addr dram, unsigned bytes, bool is_write, int arc_id,
 bool
 Pe::issueMemory(const Instruction &inst, Cycles now)
 {
-    if (!regsReady(inst, now)) {
-        stats_.stallScalar += 1;
-        return false;
-    }
+    if (!regsReady(inst, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(inst));
     const unsigned w = widthBytes(inst.width);
 
     switch (inst.op) {
@@ -529,14 +567,10 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         vip_assert(bytes > 0 && sp + bytes <= Scratchpad::kBytes,
                    "ld.sram range [", sp, ", ", sp + bytes,
                    ") outside the scratchpad");
-        if (arc_.overlaps(sp, sp + bytes)) {
-            stats_.stallArc += 1;
-            return false;
-        }
-        if (arc_.full()) {
-            stats_.stallArc += 1;
-            return false;
-        }
+        if (arc_.overlaps(sp, sp + bytes))
+            return stallFor(stats_.stallArc, earliestVecArcRetireAt());
+        if (arc_.full())
+            return stallFor(stats_.stallArc, earliestVecArcRetireAt());
         const int arc_id = arc_.allocate(sp, sp + bytes);
         vip_assert(arc_id >= 0, "ARC allocation failed after full check");
         if (!issueDramTransfer(dram, bytes, false, arc_id, -1, now)) {
@@ -556,10 +590,8 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         vip_assert(bytes > 0 && sp + bytes <= Scratchpad::kBytes,
                    "st.sram range [", sp, ", ", sp + bytes,
                    ") outside the scratchpad");
-        if (arc_.overlaps(sp, sp + bytes)) {
-            stats_.stallArc += 1;
-            return false;
-        }
+        if (arc_.overlaps(sp, sp + bytes))
+            return stallFor(stats_.stallArc, earliestVecArcRetireAt());
         checkReadHazard(sp, bytes, now);
         if (!issueDramTransfer(dram, bytes, true, -1, -1, now))
             return false;
@@ -645,7 +677,7 @@ Pe::tick(Cycles now)
         break;
       case Opcode::VDrain:
         if (now < vectorDrainedAt_) {
-            stats_.stallDrain += 1;
+            stallFor(stats_.stallDrain, vectorDrainedAt_);
         } else {
             issued = true;
         }
@@ -674,7 +706,8 @@ Pe::tick(Cycles now)
         break;
       case Opcode::Memfence:
         if (lsqLive_ > 0) {
-            stats_.stallFence += 1;
+            // Drains on memory responses: an external wake-up.
+            stallFor(stats_.stallFence, kIdleForever);
         } else {
             issued = true;
         }
@@ -689,6 +722,8 @@ Pe::tick(Cycles now)
     }
 
     if (issued) {
+        stallCounter_ = nullptr;
+        stallWakeAt_ = 0;
         if (tracer_)
             tracer_(now, static_cast<std::size_t>(&inst - prog_.data()),
                     inst);
@@ -699,6 +734,32 @@ Pe::tick(Cycles now)
         else if (halted_)
             ++pc_;
     }
+}
+
+Cycles
+Pe::nextEventAt(Cycles now) const
+{
+    if (halted_) {
+        // Outstanding responses (if any) are events of the memory
+        // system; pending pipeline-ARC retirements are retired lazily
+        // by the tick prologue and have no observable effect while no
+        // instruction can issue.
+        return kIdleForever;
+    }
+    if (stallCounter_ == nullptr) {
+        // Actively issuing (or not yet ticked): never warp past it.
+        return now;
+    }
+    return std::max(stallWakeAt_, now);
+}
+
+void
+Pe::fastForward(Cycles from, Cycles to)
+{
+    // Within a warp window no component changes state, so the front
+    // end would have re-evaluated to the exact same stall every cycle.
+    if (!halted_ && stallCounter_ != nullptr)
+        *stallCounter_ += to - from;
 }
 
 } // namespace vip

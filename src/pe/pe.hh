@@ -36,6 +36,7 @@
 #include "mem/storage.hh"
 #include "pe/arc.hh"
 #include "pe/scratchpad.hh"
+#include "sim/clocked.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -67,7 +68,7 @@ struct PeConfig
 /** How the PE hands memory transactions to the system. */
 using MemIssueFn = std::function<void(std::unique_ptr<MemRequest>)>;
 
-class Pe
+class Pe : public Clocked
 {
   public:
     Pe(const PeConfig &cfg, DramStorage &dram, const AddressMapper &mapper,
@@ -88,7 +89,25 @@ class Pe
     void setTracer(Tracer t) { tracer_ = std::move(t); }
 
     /** Advance one clock cycle (issue at most one instruction). */
-    void tick(Cycles now);
+    void tick(Cycles now) override;
+
+    /**
+     * Earliest cycle the front end could make progress again. An
+     * actively issuing PE reports @p now; a PE stalled on a resource
+     * with a known completion time (vector occupancy, a register's
+     * valid cycle, a pipeline ARC retirement, v.drain) reports that
+     * time; a PE waiting on a memory response (or halted) reports
+     * kIdleForever — the response is an event of the NoC/vault that
+     * will deliver it.
+     */
+    Cycles nextEventAt(Cycles now) const override;
+
+    /**
+     * Replicate the per-cycle stall accounting for skipped cycles
+     * [from, to): the stall reason recorded at the last tick cannot
+     * change inside a warp window, so the same counter is charged.
+     */
+    void fastForward(Cycles from, Cycles to) override;
 
     bool halted() const { return halted_; }
 
@@ -134,6 +153,20 @@ class Pe
     bool regsReady(const Instruction &inst, Cycles now) const;
     bool regReady(unsigned r, Cycles now) const;
 
+    /** Source/operand registers gating issue of @p inst. */
+    unsigned gatingRegs(const Instruction &inst, unsigned out[3]) const;
+
+    /** Cycle every gating register becomes ready (kIdleForever if one
+     *  waits on a memory response). */
+    Cycles regsWakeAt(const Instruction &inst) const;
+
+    /** Earliest vector-pipeline ARC retirement (kIdleForever if none). */
+    Cycles earliestVecArcRetireAt() const;
+
+    /** Record a stall: bump @p counter, remember it and the wake cycle
+     *  for nextEventAt()/fastForward(). Always returns false. */
+    bool stallFor(Counter &counter, Cycles wake_at);
+
     void execVector(const Instruction &inst, Cycles now, Cycles done_at);
     void checkReadHazard(SpAddr addr, unsigned bytes, Cycles now);
 
@@ -173,6 +206,12 @@ class Pe
     unsigned lsqLive_ = 0;
     std::uint64_t nextReqId_ = 0;
     Tracer tracer_;
+
+    /** Stall recorded at the last tick: which counter the front end
+     *  charged and the earliest cycle the stall could break. Cleared
+     *  when an instruction issues. */
+    Counter *stallCounter_ = nullptr;
+    Cycles stallWakeAt_ = 0;
 
     StatGroup statGroup_;
     Stats stats_;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The simulator's time model: the `Clocked` component interface and
+ * the event-horizon fast-forward contract.
+ *
+ * Every tickable unit of the machine (PE, NoC, vault, the system's
+ * ingress drains) implements `tick(now)` plus `nextEventAt(now)`: the
+ * earliest future cycle at which the component, left alone, could
+ * change architectural or statistical state. The system's run loop
+ * computes the horizon `min(nextEventAt)` over all components each
+ * iteration and, when it exceeds the next cycle, warps simulated time
+ * directly to it — skipping cycles that would have been no-op ticks
+ * for every component.
+ *
+ * The contract that keeps warping *exact* rather than approximate:
+ *
+ *  - `nextEventAt` may be conservative (early). Reporting a cycle at
+ *    which the component turns out to do nothing merely shrinks the
+ *    warp; the component is ticked there and re-reports.
+ *  - `nextEventAt` must never be late. If the component would have
+ *    changed any observable state (including statistics) at cycle t,
+ *    it must report a value <= t. A busy or unknown component reports
+ *    `now` (equivalently `now + 1` relative to the cycle it just
+ *    ticked), which disables warping entirely.
+ *  - External wake-ups need not be reported. A component waiting on
+ *    another component's event (a PE waiting on a DRAM response that
+ *    arrives through the NoC) may report `kIdleForever`; the event is
+ *    already in the queue of the component that will deliver it, and
+ *    that component's `nextEventAt` bounds the horizon.
+ *  - Components whose per-cycle behaviour is observable even when
+ *    "nothing happens" (the PE's per-cycle stall counters) implement
+ *    `fastForward(from, to)` to account for the skipped cycles
+ *    [from, to) exactly as the per-cycle ticks would have.
+ */
+
+#ifndef VIP_SIM_CLOCKED_HH
+#define VIP_SIM_CLOCKED_HH
+
+#include <limits>
+
+#include "sim/types.hh"
+
+namespace vip {
+
+/** "No self-generated future event": the component is externally
+ *  driven or fully idle. */
+inline constexpr Cycles kIdleForever = std::numeric_limits<Cycles>::max();
+
+/** A component driven by the global 1.25 GHz clock. */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance the component through cycle @p now. */
+    virtual void tick(Cycles now) = 0;
+
+    /**
+     * Earliest cycle >= @p now at which this component could change
+     * state on its own. May be early, must never be late; see the
+     * file comment for the full contract.
+     */
+    virtual Cycles nextEventAt(Cycles now) const = 0;
+
+    /**
+     * Cycles [@p from, @p to) are being skipped: every component
+     * reported no event in the interval, so a per-cycle tick would
+     * have been a no-op. Components with per-cycle observable
+     * behaviour (stall counters) replicate it here.
+     */
+    virtual void fastForward(Cycles from, Cycles to)
+    {
+        (void)from;
+        (void)to;
+    }
+};
+
+/** What the event-horizon fast-forward did during a run. */
+struct FastForwardStats
+{
+    Cycles skippedCycles = 0;  ///< dead cycles warped over
+    std::uint64_t warps = 0;   ///< number of time warps taken
+
+    void
+    reset()
+    {
+        skippedCycles = 0;
+        warps = 0;
+    }
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_CLOCKED_HH

@@ -81,6 +81,19 @@ class StatGroup
      */
     void dumpJson(std::ostream &os) const;
 
+    /**
+     * Write just this subtree's JSON object value (`{...}`, no
+     * enclosing `{"<name>": ...}` wrapper), indented as if it sat at
+     * @p depth nesting levels. Lets callers splice the tree into a
+     * larger JSON document (e.g. vip-run's `{"host": ..., "system":
+     * ...}` output) while keeping the byte-stable sorted-key format.
+     */
+    void
+    dumpJsonValue(std::ostream &os, unsigned depth = 0) const
+    {
+        dumpJsonImpl(os, depth);
+    }
+
     /** Find a counter by name within this group only; null if absent. */
     const Counter *findCounter(const std::string &name) const;
 

@@ -1,5 +1,6 @@
 #include "system/simulation.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "isa/assembler.hh"
@@ -22,7 +23,18 @@ RunResult
 Simulation::run(Cycles max_cycles)
 {
     RunResult result;
+    const Cycles start_cycle = sys_.now();
+    const auto start = std::chrono::steady_clock::now();
     result.cycles = sys_.run(max_cycles);
+    const auto end = std::chrono::steady_clock::now();
+    result.hostSeconds =
+        std::chrono::duration<double>(end - start).count();
+    if (result.hostSeconds > 0.0) {
+        result.simCyclesPerHostSecond =
+            static_cast<double>(result.cycles - start_cycle) /
+            result.hostSeconds;
+    }
+    result.fastForwardedCycles = sys_.fastForwardStats().skippedCycles;
     result.haltedCleanly = sys_.allIdle();
     std::ostringstream os;
     sys_.stats().dump(os);

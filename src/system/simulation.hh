@@ -72,6 +72,15 @@ struct RunResult
     /** Text dump of the system's statistics tree at run end. */
     std::string stats;
 
+    /** Host wall-clock seconds this run() call took. */
+    double hostSeconds = 0.0;
+
+    /** Simulated cycles advanced this run() per host second. */
+    double simCyclesPerHostSecond = 0.0;
+
+    /** Dead cycles warped over so far (0 with --no-fast-forward). */
+    Cycles fastForwardedCycles = 0;
+
     double ms() const { return cyclesToMs(cycles); }
 };
 

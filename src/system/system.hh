@@ -22,6 +22,7 @@
 #include "mem/hmc.hh"
 #include "noc/torus.hh"
 #include "pe/pe.hh"
+#include "sim/clocked.hh"
 #include "sim/stats.hh"
 
 namespace vip {
@@ -39,6 +40,14 @@ struct SystemConfig
 
     /** Give up if the machine makes no progress for this many cycles. */
     Cycles watchdogCycles = 2'000'000;
+
+    /**
+     * Warp over cycles in which no component can change state (see
+     * sim/clocked.hh). Exact by construction — every statistic and
+     * every byte of architectural state matches a cycle-by-cycle run —
+     * but can be disabled (--no-fast-forward) to test exactly that.
+     */
+    bool fastForward = true;
 };
 
 class VipSystem
@@ -90,6 +99,16 @@ class VipSystem
 
     bool allIdle() const;
 
+    /** What the event-horizon fast-forward skipped so far. */
+    const FastForwardStats &fastForwardStats() const { return ff_; }
+
+    /**
+     * Earliest cycle >= now() at which any component of the machine
+     * can change state; kIdleForever when fully drained. Exposed for
+     * tests and for callers driving tick() themselves.
+     */
+    Cycles nextEventAt() const;
+
     StatGroup &stats() { return statGroup_; }
 
     /** Achieved DRAM bandwidth in GB/s over the simulated interval. */
@@ -106,6 +125,24 @@ class VipSystem
     void deliverToVault(unsigned vault, std::unique_ptr<MemRequest> req);
     void onVaultComplete(unsigned vault, std::unique_ptr<MemRequest> req);
 
+    /**
+     * The per-vault queues of requests that reached their home vault
+     * while its transaction queue was full, modelled as a clocked
+     * component so warps can never jump a drain opportunity: capacity
+     * only frees when a vault completes a transaction, so the next
+     * event of a backed-up queue is its vault's next completion.
+     */
+    class IngressDrain : public Clocked
+    {
+      public:
+        explicit IngressDrain(VipSystem &sys) : sys_(sys) {}
+        void tick(Cycles now) override;
+        Cycles nextEventAt(Cycles now) const override;
+
+      private:
+        VipSystem &sys_;
+    };
+
     SystemConfig cfg_;
     StatGroup statGroup_;
     HmcStack hmc_;
@@ -114,6 +151,12 @@ class VipSystem
 
     /** Requests that reached their vault but found its queue full. */
     std::vector<std::deque<std::unique_ptr<MemRequest>>> ingress_;
+    IngressDrain ingressDrain_{*this};
+
+    /** Every tickable unit, in the machine's tick order. */
+    std::vector<Clocked *> clocked_;
+
+    FastForwardStats ff_;
 
     Cycles now_ = 0;
 

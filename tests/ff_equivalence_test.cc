@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Fast-forward equivalence harness: the event-horizon warp in
+ * VipSystem::run() (sim/clocked.hh) must be invisible in every
+ * observable — final cycle count, the complete dumped statistics tree
+ * (JSON, stable key order), and DRAM contents — across representative
+ * kernels. Each scenario drives the same program on two machines, one
+ * warping and one ticking every cycle, and requires bit-identical
+ * results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "isa/builder.hh"
+#include "kernels/bp_kernel.hh"
+#include "kernels/conv_kernel.hh"
+#include "kernels/fc_kernel.hh"
+#include "kernels/layout.hh"
+#include "kernels/runner.hh"
+#include "sim/rng.hh"
+#include "workloads/mrf.hh"
+#include "workloads/nn.hh"
+
+namespace vip {
+namespace {
+
+/** Everything the warp must not perturb, plus what it skipped. */
+struct Observed
+{
+    Cycles cycles = 0;
+    std::string statsJson;
+    std::uint64_t dramDigest = 0;
+    Cycles skipped = 0;
+    std::uint64_t warps = 0;
+};
+
+/**
+ * Build a system from @p cfg with fast-forward set to @p ff, hand it
+ * to @p drive (which stages DRAM, loads programs, and runs — possibly
+ * in several phases), then record the observables.
+ */
+Observed
+observe(SystemConfig cfg, bool ff,
+        const std::function<void(VipSystem &)> &drive)
+{
+    cfg.fastForward = ff;
+    VipSystem sys(cfg);
+    drive(sys);
+    EXPECT_TRUE(sys.allIdle());
+    Observed o;
+    o.cycles = sys.now();
+    std::ostringstream os;
+    sys.stats().dumpJson(os);
+    o.statsJson = os.str();
+    o.dramDigest = sys.dram().fingerprint();
+    o.skipped = sys.fastForwardStats().skippedCycles;
+    o.warps = sys.fastForwardStats().warps;
+    return o;
+}
+
+/**
+ * The core assertion: warped and unwarped runs are indistinguishable.
+ * @p expect_skips additionally requires the warped run to actually
+ * exercise the fast path (memory-bound scenarios always do).
+ */
+void
+expectEquivalent(const SystemConfig &cfg,
+                 const std::function<void(VipSystem &)> &drive,
+                 bool expect_skips = true)
+{
+    const Observed warped = observe(cfg, true, drive);
+    const Observed ticked = observe(cfg, false, drive);
+
+    EXPECT_EQ(warped.cycles, ticked.cycles);
+    EXPECT_EQ(warped.statsJson, ticked.statsJson);
+    EXPECT_EQ(warped.dramDigest, ticked.dramDigest);
+
+    EXPECT_EQ(ticked.skipped, 0u);
+    EXPECT_EQ(ticked.warps, 0u);
+    if (expect_skips) {
+        EXPECT_GT(warped.skipped, 0u);
+        EXPECT_GT(warped.warps, 0u);
+    }
+}
+
+MrfProblem
+makeProblem(unsigned w, unsigned h, unsigned labels, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MrfProblem p;
+    p.width = w;
+    p.height = h;
+    p.labels = labels;
+    p.smoothCost = truncatedLinearSmoothness(labels, 3, 12);
+    p.dataCost.resize(static_cast<std::size_t>(w) * h * labels);
+    for (auto &c : p.dataCost)
+        c = static_cast<Fx16>(rng.nextBelow(25));
+    return p;
+}
+
+TEST(FfEquivalence, BpSweepFourPes)
+{
+    const unsigned W = 12, H = 8, L = 8;
+    const MrfProblem problem = makeProblem(W, H, L, 42);
+    SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.pe.strictHazards = true;
+
+    expectEquivalent(cfg, [&](VipSystem &sys) {
+        MrfDramLayout layout(sys.vaultBase(0), W, H, L);
+        layout.upload(problem, sys.dram());
+        const unsigned per = H / 4;
+        for (unsigned pe = 0; pe < 4; ++pe) {
+            sys.pe(pe).loadProgram(genBpSweep(
+                layout, BpVariant{},
+                BpSweepJob{SweepDir::Right, pe * per, (pe + 1) * per}));
+        }
+        sys.run(50'000'000);
+    });
+}
+
+TEST(FfEquivalence, ConvSingleShard)
+{
+    const unsigned C = 8, H = 10, W = 12, OC = 4, K = 3;
+    Rng rng(11);
+    FeatureMap in(C, H, W);
+    for (auto &v : in.data)
+        v = static_cast<Fx16>(rng.nextRange(-10, 10));
+    const auto filters = randomWeights(
+        static_cast<std::size_t>(OC) * C * K * K, rng, 3);
+    const auto bias = randomWeights(OC, rng, 20);
+
+    SystemConfig cfg = makeSystemConfig(1, 1);
+    cfg.pe.strictHazards = true;
+
+    expectEquivalent(cfg, [&](VipSystem &sys) {
+        const Addr base = sys.vaultBase(0);
+        FmapDramLayout in_lay(base, C, H, W, 1);
+        FmapDramLayout out_lay(in_lay.end() + 64, OC, H, W, 0);
+        const Addr filt_addr = out_lay.end() + 64;
+        const auto blob = packFilters(filters, C, K, 0, OC, 0, C);
+        sys.dram().write(filt_addr, blob.data(), blob.size() * 2);
+        const Addr bias_addr = filt_addr + blob.size() * 2 + 64;
+        sys.dram().write(bias_addr, bias.data(), bias.size() * 2);
+        in_lay.upload(in, sys.dram());
+
+        ConvJob job;
+        job.in = &in_lay;
+        job.out = &out_lay;
+        job.filterBlob = filt_addr;
+        job.biasBlob = bias_addr;
+        job.zShard = C;
+        job.filters = OC;
+        job.rowBegin = 0;
+        job.rowEnd = H;
+        job.width = W;
+        sys.pe(0).loadProgram(genConvPass(job));
+        sys.run(50'000'000);
+    });
+}
+
+TEST(FfEquivalence, FcPartialThenAccum)
+{
+    const unsigned IN = 128, OUT = 64, SEGS = 4;
+    Rng rng(16);
+    const auto input = randomWeights(IN, rng, 30);
+    const auto weights = randomWeights(
+        static_cast<std::size_t>(OUT) * IN, rng, 5);
+    const auto bias = randomWeights(OUT, rng, 50);
+
+    SystemConfig cfg = makeSystemConfig(1, 4);
+    cfg.pe.strictHazards = true;
+
+    // Two run() phases: the warp bookkeeping must survive a drained
+    // machine being reloaded and run again.
+    expectEquivalent(cfg, [&](VipSystem &sys) {
+        const Addr base = sys.vaultBase(0);
+        const Addr w_addr = base;
+        const Addr in_addr = w_addr + weights.size() * 2 + 64;
+        const Addr bias_addr = in_addr + input.size() * 2 + 64;
+        const Addr out_addr = bias_addr + bias.size() * 2 + 64;
+        const Addr part_base = out_addr + OUT * 2 + 64;
+        const std::uint64_t part_stride = OUT * 2 + 64;
+        sys.dram().write(w_addr, weights.data(), weights.size() * 2);
+        sys.dram().write(in_addr, input.data(), input.size() * 2);
+        sys.dram().write(bias_addr, bias.data(), bias.size() * 2);
+
+        for (unsigned s = 0; s < SEGS; ++s) {
+            FcPartialJob job;
+            job.weightBase = w_addr;
+            job.inputBase = in_addr;
+            job.outBase = part_base + s * part_stride;
+            job.inputs = IN;
+            job.segOffset = s * (IN / SEGS);
+            job.segLen = IN / SEGS;
+            job.rowBegin = 0;
+            job.rowEnd = OUT;
+            job.outBlock = 32;
+            sys.pe(s).loadProgram(genFcPartial(job));
+        }
+        sys.run(50'000'000);
+
+        FcAccumJob acc;
+        acc.partialBase0 = part_base;
+        acc.strideOuter = part_stride;
+        acc.countOuter = SEGS;
+        acc.strideInner = 0;
+        acc.countInner = 1;
+        acc.outBase = out_addr;
+        acc.biasBase = bias_addr;
+        acc.outBegin = 0;
+        acc.outEnd = OUT;
+        acc.chunk = 32;
+        sys.pe(0).loadProgram(genFcAccum(acc));
+        sys.run(50'000'000);
+    });
+}
+
+TEST(FfEquivalence, MemoryBoundCopySkipsMostCycles)
+{
+    // A fenced DRAM copy is dominated by round-trip latency; the warp
+    // should skip the bulk of the simulated cycles.
+    SystemConfig cfg = makeSystemConfig(1, 1);
+
+    auto drive = [](VipSystem &sys) {
+        AsmBuilder b;
+        const Addr src = sys.vaultBase(0);
+        const Addr dst = src + (1ull << 20);
+        b.movImm(1, 0);
+        b.movImm(2, 32);     // chunks
+        b.movImm(3, static_cast<std::int64_t>(src));
+        b.movImm(4, static_cast<std::int64_t>(dst));
+        b.movImm(5, 1024);   // stride
+        b.movImm(6, 512);    // elements per chunk
+        b.movImm(7, 0);      // scratchpad buffer
+        const auto loop = b.newLabel();
+        b.bind(loop);
+        b.ldSram(7, 3, 6);
+        b.stSram(7, 4, 6);
+        b.memfence();
+        b.scalar(ScalarOp::Add, 3, 3, 5);
+        b.scalar(ScalarOp::Add, 4, 4, 5);
+        b.addImm(1, 1, 1);
+        b.branch(BranchCond::Lt, 1, 2, loop);
+        b.halt();
+        sys.pe(0).loadProgram(b.finish());
+        sys.run(50'000'000);
+    };
+    expectEquivalent(cfg, drive);
+
+    const Observed warped = observe(cfg, true, drive);
+    EXPECT_GT(warped.skipped, warped.cycles / 2)
+        << "memory-bound copy should be mostly dead cycles";
+}
+
+} // namespace
+} // namespace vip

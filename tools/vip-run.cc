@@ -13,8 +13,12 @@
  *     --dump-regs          print the scalar register file
  *     --stats              dump the statistics tree
  *     --json-stats FILE    write the statistics tree as JSON (stable
- *                          key order; "-" writes to stdout)
+ *                          key order; "-" writes to stdout), plus a
+ *                          "host" section with wall-clock timing and
+ *                          fast-forward figures
  *     --max-cycles N       simulation budget (default 100M)
+ *     --no-fast-forward    tick every cycle instead of warping over
+ *                          provably dead ones (same results, slower)
  *     --strict             panic on vector timing hazards
  *
  * Example — a dot product of two 8-element vectors staged at 0x1000
@@ -52,7 +56,8 @@ usage()
                  "[--dump-dram A,N]\n"
                  "       [--dump-sp A,N] [--dump-regs] [--stats] "
                  "[--json-stats FILE]\n"
-                 "       [--max-cycles N] [--strict] [--trace]\n");
+                 "       [--max-cycles N] [--no-fast-forward] "
+                 "[--strict] [--trace]\n");
     return 2;
 }
 
@@ -67,7 +72,7 @@ main(int argc, char **argv)
     std::vector<std::pair<Addr, std::int16_t>> pokes;
     std::vector<std::pair<Addr, unsigned>> dump_dram, dump_sp;
     bool dump_regs = false, want_stats = false, strict = false;
-    bool trace = false;
+    bool trace = false, fast_forward = true;
     Cycles max_cycles = 100'000'000;
 
     for (int i = 1; i < argc; ++i) {
@@ -108,6 +113,8 @@ main(int argc, char **argv)
             trace = true;
         } else if (arg == "--max-cycles") {
             max_cycles = parseNum(next());
+        } else if (arg == "--no-fast-forward") {
+            fast_forward = false;
         } else if (arg[0] == '-') {
             return usage();
         } else {
@@ -137,6 +144,7 @@ main(int argc, char **argv)
 
     SystemConfig cfg = makeSystemConfig(1, 1);
     cfg.pe.strictHazards = strict;
+    cfg.fastForward = fast_forward;
     Simulation sim(cfg);
     for (const auto &[addr, val] : pokes)
         sim.pokeDram(addr, val);
@@ -186,8 +194,25 @@ main(int argc, char **argv)
     if (want_stats)
         std::fputs(result.stats.c_str(), stdout);
     if (!json_stats_path.empty()) {
+        // The "system" section is the simulated statistics tree and is
+        // bit-identical run to run; the "host" section carries the
+        // wall-clock figures, which are not.
+        auto emit = [&](std::ostream &os) {
+            char buf[32];
+            os << "{\n  \"host\": {\n"
+               << "    \"fastForwardedCycles\": "
+               << result.fastForwardedCycles << ",\n";
+            std::snprintf(buf, sizeof(buf), "%.17g", result.hostSeconds);
+            os << "    \"hostSeconds\": " << buf << ",\n";
+            std::snprintf(buf, sizeof(buf), "%.17g",
+                          result.simCyclesPerHostSecond);
+            os << "    \"simCyclesPerHostSecond\": " << buf << "\n"
+               << "  },\n  \"system\": ";
+            sys.stats().dumpJsonValue(os, 1);
+            os << "\n}\n";
+        };
         if (json_stats_path == "-") {
-            sys.stats().dumpJson(std::cout);
+            emit(std::cout);
         } else {
             std::ofstream os(json_stats_path);
             if (!os) {
@@ -195,7 +220,7 @@ main(int argc, char **argv)
                              json_stats_path.c_str());
                 return 1;
             }
-            sys.stats().dumpJson(os);
+            emit(os);
         }
     }
     return 0;
