@@ -6,12 +6,17 @@
 #ifndef VIP_MEM_REQUEST_HH
 #define VIP_MEM_REQUEST_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/types.hh"
 
 namespace vip {
+
+class MemRequestPool;
 
 /**
  * One memory transaction. Requests larger than a DRAM column are split
@@ -36,6 +41,77 @@ struct MemRequest
     /** Simulation bookkeeping. */
     Cycles issuedAt = 0;
     Cycles completedAt = 0;
+
+    /**
+     * The pool this request recycles through, or null for a plain
+     * heap allocation. Set once by MemRequestPool::acquire(); the
+     * completion endpoints (VipSystem's response delivery and
+     * VaultController's direct-callback path) hand completed pooled
+     * requests back instead of freeing them.
+     */
+    MemRequestPool *pool = nullptr;
+};
+
+/**
+ * Free-list recycler for MemRequests. A steady-state PE↔memory hot
+ * loop reuses a handful of descriptors instead of allocating one per
+ * transfer piece; highWater() bounds the working set and
+ * allocations() counts the fresh heap allocations (both exported via
+ * `vip-run --json-stats` so perf PRs can spot allocation regressions).
+ *
+ * The pool must outlive every completion callback of its requests
+ * (the issuing PE owns both, and completions are delivered only while
+ * the machine ticks). Requests still in flight at teardown are freed
+ * normally by whoever holds them — release() is only called from the
+ * completion paths, so a destroyed pool is never touched.
+ */
+class MemRequestPool
+{
+  public:
+    std::unique_ptr<MemRequest> acquire()
+    {
+        ++live_;
+        highWater_ = std::max(highWater_, live_);
+        if (free_.empty()) {
+            ++allocations_;
+            auto req = std::make_unique<MemRequest>();
+            req->pool = this;
+            return req;
+        }
+        auto req = std::move(free_.back());
+        free_.pop_back();
+        return req;
+    }
+
+    /** Return a completed request; resets every field but the pool link. */
+    void release(std::unique_ptr<MemRequest> req)
+    {
+        --live_;
+        req->addr = 0;
+        req->bytes = 0;
+        req->isWrite = false;
+        req->sourcePe = 0;
+        req->onComplete = nullptr;
+        req->id = 0;
+        req->issuedAt = 0;
+        req->completedAt = 0;
+        free_.push_back(std::move(req));
+    }
+
+    /** Pooled requests currently in flight. */
+    unsigned live() const { return live_; }
+
+    /** Most requests ever simultaneously in flight. */
+    unsigned highWater() const { return highWater_; }
+
+    /** Fresh heap allocations (steady state: stops growing). */
+    std::uint64_t allocations() const { return allocations_; }
+
+  private:
+    std::vector<std::unique_ptr<MemRequest>> free_;
+    unsigned live_ = 0;
+    unsigned highWater_ = 0;
+    std::uint64_t allocations_ = 0;
 };
 
 } // namespace vip

@@ -46,6 +46,29 @@ class DramStorage
         write(addr, &v, sizeof(T));
     }
 
+    /**
+     * Zero-copy DMA endpoints: move bytes directly between the DRAM
+     * pages and an SRAM's backing store (anything exposing
+     * bytePtr(addr)), skipping the per-instruction staging buffer the
+     * generic read()/write() path would need. Templated so this layer
+     * stays independent of the PE scratchpad type.
+     */
+    template <typename Sram>
+    void
+    copyTo(Addr addr, Sram &sram, std::uint32_t sram_addr,
+           std::size_t bytes) const
+    {
+        read(addr, sram.bytePtr(sram_addr), bytes);
+    }
+
+    template <typename Sram>
+    void
+    copyFrom(Addr addr, const Sram &sram, std::uint32_t sram_addr,
+             std::size_t bytes)
+    {
+        write(addr, sram.bytePtr(sram_addr), bytes);
+    }
+
     /** Number of pages touched so far (footprint proxy). */
     std::size_t touchedPages() const { return pages_.size(); }
 

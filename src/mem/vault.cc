@@ -27,24 +27,24 @@ VaultController::VaultController(unsigned vaultId, const MemConfig &cfg,
              Counter(&statGroup_, "req_latency_total",
                      "sum of transaction latencies (cycles)")}
 {
+    // Stacked descending so the next slot handed out is the lowest
+    // index, matching the original linear free-slot search.
+    freeSlots_.reserve(cfg.transQueueDepth);
+    for (std::size_t i = cfg.transQueueDepth; i-- > 0;)
+        freeSlots_.push_back(i);
 }
 
 bool
 VaultController::enqueue(std::unique_ptr<MemRequest> req)
 {
-    // Find a free transaction slot.
-    std::size_t slot = trans_.size();
-    for (std::size_t i = 0; i < trans_.size(); ++i) {
-        if (!trans_[i].live) {
-            slot = i;
-            break;
-        }
-    }
-    if (slot == trans_.size())
+    if (freeSlots_.empty())
         return false;
 
     vip_assert(req->bytes > 0, "zero-length memory request");
 
+    const std::size_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    ++liveTrans_;
     trans_[slot].req = std::move(req);
     trans_[slot].live = true;
     trans_[slot].pendingColumns = 0;
@@ -68,8 +68,16 @@ VaultController::splitIntoColumns(std::size_t trans_index)
         const unsigned within = col_bytes - c.offset;
         const std::uint64_t chunk = std::min<std::uint64_t>(remaining,
                                                             within);
-        columns_.push_back({c.bank, c.row, c.col, req.isWrite, trans_index,
-                            req.issuedAt});
+        Bank &bank = banks_[c.bank];
+        if (!bank.active) {
+            bank.active = true;
+            activeBanks_.push_back(c.bank);
+        }
+        bank.cols.push_back({nextSeq_++, c.row, c.col, req.isWrite,
+                             trans_index, req.issuedAt});
+        if (bank.rowOpen && bank.openRow == c.row)
+            ++bank.hitQueued;
+        ++totalColumns_;
         ++t.pendingColumns;
         addr += chunk;
         remaining -= chunk;
@@ -94,6 +102,8 @@ VaultController::finishColumn(std::size_t trans_index, Cycles now)
     if (--t.pendingColumns == 0) {
         std::unique_ptr<MemRequest> req = std::move(t.req);
         t.live = false;
+        freeSlots_.push_back(trans_index);
+        --liveTrans_;
         req->completedAt = now;
         stats_.reqCount += 1;
         stats_.totalReqLatency += now - req->issuedAt;
@@ -102,10 +112,14 @@ VaultController::finishColumn(std::size_t trans_index, Cycles now)
             stats_.writeBytes += req->bytes;
         else
             stats_.readBytes += req->bytes;
-        if (completionHandler_)
+        if (completionHandler_) {
             completionHandler_(std::move(req));
-        else if (req->onComplete)
+        } else if (req->onComplete) {
             req->onComplete(*req);
+        }
+        // Direct-callback path: hand pooled descriptors back for reuse.
+        if (req && req->pool)
+            req->pool->release(std::move(req));
     }
 }
 
@@ -114,6 +128,7 @@ VaultController::beginRefresh(Cycles now)
 {
     for (auto &bank : banks_) {
         bank.rowOpen = false;
+        bank.hitQueued = 0;
         bank.actAllowedAt = std::max(bank.actAllowedAt,
                                      now + cfg_.timing.tRFC);
     }
@@ -122,19 +137,23 @@ VaultController::beginRefresh(Cycles now)
     stats_.refreshes += 1;
 }
 
-bool
-VaultController::tryIssueColumn(std::deque<ColumnAccess>::iterator it,
-                                Cycles now)
+void
+VaultController::deactivateBank(unsigned bank_idx)
 {
-    const ColumnAccess &ca = *it;
-    Bank &bank = banks_[ca.bank];
-    if (!bank.rowOpen || bank.openRow != ca.row)
-        return false;
-    if (now < bank.colAllowedAt || now < bank.colCmdAllowedAt ||
-        now < colIssueAllowedAt_) {
-        return false;
-    }
+    banks_[bank_idx].active = false;
+    auto it = std::find(activeBanks_.begin(), activeBanks_.end(),
+                        bank_idx);
+    vip_assert(it != activeBanks_.end(), "bank missing from active list");
+    *it = activeBanks_.back();
+    activeBanks_.pop_back();
+}
 
+void
+VaultController::issueColumn(unsigned bank_idx, Cycles now,
+                             std::deque<ColumnAccess>::iterator it)
+{
+    Bank &bank = banks_[bank_idx];
+    const ColumnAccess ca = *it;
     const DramTiming &t = cfg_.timing;
 
     // Data occupies the shared TSVs for tBurst beats (the vault-wide
@@ -151,58 +170,112 @@ VaultController::tryIssueColumn(std::deque<ColumnAccess>::iterator it,
     }
     completions_.push({done_at, ca.transIndex});
 
-    if (cfg_.pagePolicy == PagePolicy::Closed) {
-        // Auto-precharge unless another queued access needs this row.
-        const bool more = std::any_of(
-            columns_.begin(), columns_.end(), [&](const ColumnAccess &o) {
-                return &o != &ca && o.bank == ca.bank && o.row == ca.row;
-            });
-        if (!more) {
-            bank.rowOpen = false;
-            bank.actAllowedAt = std::max(bank.preAllowedAt,
-                                         ca.isWrite ? done_at + t.tWR
-                                                    : done_at) +
-                                t.tRP;
+    bank.cols.erase(it);
+    --totalColumns_;
+    if (bank.cols.empty())
+        deactivateBank(bank_idx);
+    vip_assert(bank.hitQueued > 0, "issued hit was not counted");
+    --bank.hitQueued;
+
+    if (cfg_.pagePolicy == PagePolicy::Closed && bank.hitQueued == 0) {
+        // Auto-precharge: no other queued access needs this row.
+        bank.rowOpen = false;
+        bank.actAllowedAt = std::max(bank.preAllowedAt,
+                                     ca.isWrite ? done_at + t.tWR
+                                                : done_at) +
+                            t.tRP;
+    }
+}
+
+bool
+VaultController::issueOldestHit(Cycles now)
+{
+    // FR-FCFS first pass. Within one bank every open-row access shares
+    // the same timing gates, so the bank's oldest hit is its only
+    // candidate; across banks the globally oldest eligible candidate
+    // is exactly the access a front-to-back scan of one combined
+    // arrival-ordered queue would have issued.
+    unsigned best_bank = 0;
+    std::deque<ColumnAccess>::iterator best_it;
+    std::uint64_t best_seq = ~0ull;
+    for (const unsigned bi : activeBanks_) {
+        Bank &bank = banks_[bi];
+        if (!bank.rowOpen || bank.hitQueued == 0)
+            continue;
+        if (now < bank.colAllowedAt || now < bank.colCmdAllowedAt ||
+            now < colIssueAllowedAt_) {
+            continue;
+        }
+        auto it = bank.cols.begin();
+        while (it->row != bank.openRow)
+            ++it;
+        if (it->seq < best_seq) {
+            best_seq = it->seq;
+            best_bank = bi;
+            best_it = it;
         }
     }
-
-    columns_.erase(it);
+    if (best_seq == ~0ull)
+        return false;
+    issueColumn(best_bank, now, best_it);
     return true;
 }
 
 void
 VaultController::progressOldest(Cycles now)
 {
-    if (columns_.empty())
-        return;
-
-    // Oldest-first: open the row (or close the wrong one) for the head
-    // access whose bank can accept a command this cycle.
-    for (auto it = columns_.begin(); it != columns_.end(); ++it) {
-        Bank &bank = banks_[it->bank];
-        const DramTiming &t = cfg_.timing;
-        if (bank.rowOpen && bank.openRow != it->row) {
-            if (now >= bank.preAllowedAt) {
-                bank.rowOpen = false;
-                bank.actAllowedAt = std::max(bank.actAllowedAt,
-                                             now + t.tRP);
-                stats_.rowConflicts += 1;
-                return;
-            }
-        } else if (!bank.rowOpen) {
-            if (now >= bank.actAllowedAt) {
-                bank.rowOpen = true;
-                bank.openRow = it->row;
-                bank.colAllowedAt = now + t.tRCD;
-                bank.preAllowedAt = now + t.tRAS;
-                stats_.rowMisses += 1;
-                return;
+    // Oldest-first row-state progress. A bank contributes one
+    // candidate: with its row open, the oldest access needing a
+    // different row (precharge); with its row closed, its oldest
+    // access (activate). Same-class accesses within a bank share the
+    // timing gate, so taking the globally oldest eligible candidate
+    // reproduces the arrival-ordered scan exactly.
+    const DramTiming &t = cfg_.timing;
+    Bank *best = nullptr;
+    std::uint64_t best_seq = ~0ull;
+    bool best_is_activate = false;
+    for (const unsigned bi : activeBanks_) {
+        Bank &bank = banks_[bi];
+        if (bank.rowOpen) {
+            if (bank.cols.size() == bank.hitQueued)
+                continue;  // everything queued hits the open row
+            if (now < bank.preAllowedAt)
+                continue;
+            auto it = bank.cols.begin();
+            while (it->row == bank.openRow)
+                ++it;
+            if (it->seq < best_seq) {
+                best_seq = it->seq;
+                best = &bank;
+                best_is_activate = false;
             }
         } else {
-            // Row already open and matching: column issue is handled by
-            // the row-hit pass; nothing to do for this access here.
-            continue;
+            if (now < bank.actAllowedAt)
+                continue;
+            if (bank.cols.front().seq < best_seq) {
+                best_seq = bank.cols.front().seq;
+                best = &bank;
+                best_is_activate = true;
+            }
         }
+    }
+    if (best == nullptr)
+        return;
+
+    if (best_is_activate) {
+        best->rowOpen = true;
+        best->openRow = best->cols.front().row;
+        best->colAllowedAt = now + t.tRCD;
+        best->preAllowedAt = now + t.tRAS;
+        best->hitQueued = static_cast<unsigned>(std::count_if(
+            best->cols.begin(), best->cols.end(),
+            [&](const ColumnAccess &c) { return c.row == best->openRow; }));
+        stats_.rowMisses += 1;
+    } else {
+        best->rowOpen = false;
+        best->hitQueued = 0;
+        best->actAllowedAt = std::max(best->actAllowedAt, now + t.tRP);
+        stats_.rowConflicts += 1;
     }
 }
 
@@ -217,12 +290,12 @@ VaultController::tick(Cycles now)
         beginRefresh(now);
         return;
     }
+    if (totalColumns_ == 0)
+        return;
 
     // First pass (FR-FCFS): issue the oldest row-hit column access.
-    for (auto it = columns_.begin(); it != columns_.end(); ++it) {
-        if (tryIssueColumn(it, now))
-            return;
-    }
+    if (issueOldestHit(now))
+        return;
     // Second pass: make row-state progress for the oldest access.
     progressOldest(now);
 }
@@ -238,27 +311,33 @@ VaultController::nextEventAt(Cycles now) const
     // state and the refresh counter), so it is always a hard event.
     next = std::min(next, std::max(nextRefreshAt_, now));
 
-    if (columns_.empty() || next <= now)
+    if (totalColumns_ == 0 || next <= now)
         return next;
 
-    // No command issues while the refresh window is open.
+    // No command issues while the refresh window is open. Each bank
+    // contributes at most one candidate per access class it has
+    // queued; the per-access minimum collapses to this because
+    // same-class accesses within a bank share every timing gate.
     const Cycles floor = std::max(now, refreshUntil_);
-    for (const ColumnAccess &ca : columns_) {
-        const Bank &bank = banks_[ca.bank];
-        Cycles cand;
-        if (bank.rowOpen && bank.openRow == ca.row) {
-            // Row hit: gated by tRCD, this bank's tCCD, and the
-            // vault-wide data-bus (tBurst) constraint.
-            cand = std::max({floor, bank.colAllowedAt,
-                             bank.colCmdAllowedAt, colIssueAllowedAt_});
-        } else if (bank.rowOpen) {
-            // Conflict: the wrong row closes once tRAS/tWR allow.
-            cand = std::max(floor, bank.preAllowedAt);
+    for (const unsigned bi : activeBanks_) {
+        const Bank &bank = banks_[bi];
+        if (bank.rowOpen) {
+            if (bank.hitQueued > 0) {
+                // Row hit: gated by tRCD, this bank's tCCD, and the
+                // vault-wide data-bus (tBurst) constraint.
+                next = std::min(next,
+                                std::max({floor, bank.colAllowedAt,
+                                          bank.colCmdAllowedAt,
+                                          colIssueAllowedAt_}));
+            }
+            if (bank.cols.size() > bank.hitQueued) {
+                // Conflict: the wrong row closes once tRAS/tWR allow.
+                next = std::min(next, std::max(floor, bank.preAllowedAt));
+            }
         } else {
             // Precharged: activates once tRP/tRFC allow.
-            cand = std::max(floor, bank.actAllowedAt);
+            next = std::min(next, std::max(floor, bank.actAllowedAt));
         }
-        next = std::min(next, cand);
         if (next <= now)
             break;
     }
@@ -268,20 +347,13 @@ VaultController::nextEventAt(Cycles now) const
 unsigned
 VaultController::pendingTransactions() const
 {
-    unsigned live = 0;
-    for (const auto &t : trans_) {
-        if (t.live)
-            ++live;
-    }
-    return live;
+    return liveTrans_;
 }
 
 bool
 VaultController::idle() const
 {
-    return columns_.empty() && completions_.empty() &&
-           std::none_of(trans_.begin(), trans_.end(),
-                        [](const Transaction &t) { return t.live; });
+    return totalColumns_ == 0 && completions_.empty() && liveTrans_ == 0;
 }
 
 } // namespace vip

@@ -102,10 +102,15 @@ class VaultController : public Clocked
     const Histogram &latencyHistogram() const { return latencyHist_; }
 
   private:
-    /** One pending DRAM column access derived from a transaction. */
+    /**
+     * One pending DRAM column access derived from a transaction.
+     * Accesses live in their bank's queue (oldest first); @c seq
+     * records global arrival order so FR-FCFS age comparisons across
+     * banks stay exact.
+     */
     struct ColumnAccess
     {
-        unsigned bank;
+        std::uint64_t seq;       ///< global arrival order (FCFS age)
         std::uint64_t row;
         unsigned col;
         bool isWrite;
@@ -121,7 +126,7 @@ class VaultController : public Clocked
         bool live = false;
     };
 
-    /** Per-bank timing state. */
+    /** Per-bank timing state and queued column accesses. */
     struct Bank
     {
         bool rowOpen = false;
@@ -130,6 +135,20 @@ class VaultController : public Clocked
         Cycles colAllowedAt = 0;     ///< tRCD after ACT
         Cycles colCmdAllowedAt = 0;  ///< tCCD after this bank's last col
         Cycles preAllowedAt = 0;
+
+        /** This bank's queued accesses, oldest first. */
+        std::deque<ColumnAccess> cols;
+
+        /** True while cols is nonempty (listed in activeBanks_). */
+        bool active = false;
+
+        /**
+         * How many of @c cols target @c openRow, maintained while the
+         * row is open (meaningless when closed). Lets the scheduler
+         * and nextEventAt() classify a bank without scanning its
+         * queue.
+         */
+        unsigned hitQueued = 0;
     };
 
     struct CompletionEvent
@@ -145,7 +164,10 @@ class VaultController : public Clocked
     };
 
     void splitIntoColumns(std::size_t trans_index);
-    bool tryIssueColumn(std::deque<ColumnAccess>::iterator it, Cycles now);
+    bool issueOldestHit(Cycles now);
+    void issueColumn(unsigned bank_idx, Cycles now,
+                     std::deque<ColumnAccess>::iterator it);
+    void deactivateBank(unsigned bank_idx);
     void progressOldest(Cycles now);
     void beginRefresh(Cycles now);
     void retireCompletions(Cycles now);
@@ -156,8 +178,20 @@ class VaultController : public Clocked
     const AddressMapper &mapper_;
 
     std::vector<Bank> banks_;
+
+    /**
+     * Indices of banks with queued accesses, unordered. The scheduler
+     * passes and nextEventAt() are min-computations over banks, so
+     * iteration order is free — which keeps ticks O(busy banks)
+     * instead of O(all banks) for sparse traffic.
+     */
+    std::vector<unsigned> activeBanks_;
+
     std::vector<Transaction> trans_;
-    std::deque<ColumnAccess> columns_;
+    std::vector<std::size_t> freeSlots_;  ///< free transaction slots
+    unsigned liveTrans_ = 0;              ///< live entries in trans_
+    std::size_t totalColumns_ = 0;        ///< queued accesses, all banks
+    std::uint64_t nextSeq_ = 0;           ///< arrival-order stamp
     std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
                         std::greater<>> completions_;
 

@@ -1,6 +1,7 @@
 #include "pe/pe.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "sim/logging.hh"
@@ -30,31 +31,6 @@ saturate(std::int64_t v, ElemWidth w)
 }
 
 std::int64_t
-applyVecOp(VecOp op, std::int64_t a, std::int64_t b)
-{
-    switch (op) {
-      case VecOp::Mul: return a * b;
-      case VecOp::Add: return a + b;
-      case VecOp::Sub: return a - b;
-      case VecOp::Min: return std::min(a, b);
-      case VecOp::Max: return std::max(a, b);
-      case VecOp::Nop: return a;
-    }
-    return a;
-}
-
-std::int64_t
-applyRedOp(RedOp op, std::int64_t acc, std::int64_t v)
-{
-    switch (op) {
-      case RedOp::Add: return acc + v;
-      case RedOp::Min: return std::min(acc, v);
-      case RedOp::Max: return std::max(acc, v);
-    }
-    return acc;
-}
-
-std::int64_t
 redIdentity(RedOp op)
 {
     switch (op) {
@@ -63,6 +39,201 @@ redIdentity(RedOp op)
       case RedOp::Max: return std::numeric_limits<std::int64_t>::min();
     }
     return 0;
+}
+
+/*
+ * Width-specialized vector kernels. The interpreter used to re-dispatch
+ * ElemWidth (and apply the VecOp/RedOp switches) per element; these
+ * templates hoist every dispatch out of the element loop — the
+ * instruction selects one fully-specialized kernel, whose inner loop is
+ * branch-free element arithmetic on raw scratchpad bytes. Semantics are
+ * bit-identical to the switch ladders they replace: elements are
+ * sign-extended to 64 bits, operated on in 64-bit arithmetic, and
+ * saturated back to the element width on store, in the same element
+ * order (memcpy keeps unaligned starts well-defined — any byte address
+ * may start a vector).
+ */
+
+template <typename T>
+inline std::int64_t
+loadElem(const std::uint8_t *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return static_cast<std::int64_t>(v);
+}
+
+template <typename T>
+inline void
+storeElemSat(std::uint8_t *p, std::int64_t v)
+{
+    if constexpr (sizeof(T) < sizeof(std::int64_t)) {
+        v = std::clamp<std::int64_t>(v, std::numeric_limits<T>::min(),
+                                     std::numeric_limits<T>::max());
+    }
+    const T t = static_cast<T>(v);
+    std::memcpy(p, &t, sizeof(T));
+}
+
+template <VecOp op>
+inline std::int64_t
+vecOp(std::int64_t a, std::int64_t b)
+{
+    if constexpr (op == VecOp::Mul) return a * b;
+    if constexpr (op == VecOp::Add) return a + b;
+    if constexpr (op == VecOp::Sub) return a - b;
+    if constexpr (op == VecOp::Min) return std::min(a, b);
+    if constexpr (op == VecOp::Max) return std::max(a, b);
+    return a;  // Nop
+}
+
+template <RedOp op>
+inline std::int64_t
+redOp(std::int64_t acc, std::int64_t v)
+{
+    if constexpr (op == RedOp::Add) return acc + v;
+    if constexpr (op == RedOp::Min) return std::min(acc, v);
+    return std::max(acc, v);  // Max
+}
+
+template <typename T, VecOp op>
+void
+runVecVec(std::uint8_t *dst, const std::uint8_t *a, const std::uint8_t *b,
+          unsigned vl)
+{
+    for (unsigned i = 0; i < vl; ++i) {
+        storeElemSat<T>(dst + i * sizeof(T),
+                        vecOp<op>(loadElem<T>(a + i * sizeof(T)),
+                                  loadElem<T>(b + i * sizeof(T))));
+    }
+}
+
+template <typename T, VecOp op>
+void
+runVecScalar(std::uint8_t *dst, const std::uint8_t *a, std::int64_t scalar,
+             unsigned vl)
+{
+    for (unsigned i = 0; i < vl; ++i) {
+        storeElemSat<T>(dst + i * sizeof(T),
+                        vecOp<op>(loadElem<T>(a + i * sizeof(T)), scalar));
+    }
+}
+
+template <typename T, VecOp vop, RedOp rop>
+std::int64_t
+runMatVecRow(const std::uint8_t *row, const std::uint8_t *vec, unsigned vl)
+{
+    std::int64_t acc = redIdentity(rop);
+    for (unsigned i = 0; i < vl; ++i) {
+        const std::int64_t m = loadElem<T>(row + i * sizeof(T));
+        // applyVecOp(Nop, m, v) == m with v never loaded.
+        const std::int64_t x =
+            vop == VecOp::Nop ? m
+                              : vecOp<vop>(m, loadElem<T>(vec +
+                                                          i * sizeof(T)));
+        acc = redOp<rop>(acc, x);
+    }
+    return acc;
+}
+
+using VecVecFn = void (*)(std::uint8_t *, const std::uint8_t *,
+                          const std::uint8_t *, unsigned);
+using VecScalarFn = void (*)(std::uint8_t *, const std::uint8_t *,
+                             std::int64_t, unsigned);
+using MatVecRowFn = std::int64_t (*)(const std::uint8_t *,
+                                     const std::uint8_t *, unsigned);
+
+template <typename T>
+VecVecFn
+vecVecFnFor(VecOp op)
+{
+    switch (op) {
+      case VecOp::Mul: return &runVecVec<T, VecOp::Mul>;
+      case VecOp::Add: return &runVecVec<T, VecOp::Add>;
+      case VecOp::Sub: return &runVecVec<T, VecOp::Sub>;
+      case VecOp::Min: return &runVecVec<T, VecOp::Min>;
+      case VecOp::Max: return &runVecVec<T, VecOp::Max>;
+      case VecOp::Nop: return &runVecVec<T, VecOp::Nop>;
+    }
+    return &runVecVec<T, VecOp::Nop>;
+}
+
+VecVecFn
+vecVecFnFor(ElemWidth w, VecOp op)
+{
+    switch (w) {
+      case ElemWidth::W8: return vecVecFnFor<std::int8_t>(op);
+      case ElemWidth::W16: return vecVecFnFor<std::int16_t>(op);
+      case ElemWidth::W32: return vecVecFnFor<std::int32_t>(op);
+      case ElemWidth::W64: return vecVecFnFor<std::int64_t>(op);
+    }
+    return vecVecFnFor<std::int64_t>(op);
+}
+
+template <typename T>
+VecScalarFn
+vecScalarFnFor(VecOp op)
+{
+    switch (op) {
+      case VecOp::Mul: return &runVecScalar<T, VecOp::Mul>;
+      case VecOp::Add: return &runVecScalar<T, VecOp::Add>;
+      case VecOp::Sub: return &runVecScalar<T, VecOp::Sub>;
+      case VecOp::Min: return &runVecScalar<T, VecOp::Min>;
+      case VecOp::Max: return &runVecScalar<T, VecOp::Max>;
+      case VecOp::Nop: return &runVecScalar<T, VecOp::Nop>;
+    }
+    return &runVecScalar<T, VecOp::Nop>;
+}
+
+VecScalarFn
+vecScalarFnFor(ElemWidth w, VecOp op)
+{
+    switch (w) {
+      case ElemWidth::W8: return vecScalarFnFor<std::int8_t>(op);
+      case ElemWidth::W16: return vecScalarFnFor<std::int16_t>(op);
+      case ElemWidth::W32: return vecScalarFnFor<std::int32_t>(op);
+      case ElemWidth::W64: return vecScalarFnFor<std::int64_t>(op);
+    }
+    return vecScalarFnFor<std::int64_t>(op);
+}
+
+template <typename T, VecOp vop>
+MatVecRowFn
+matVecRowFnFor(RedOp rop)
+{
+    switch (rop) {
+      case RedOp::Add: return &runMatVecRow<T, vop, RedOp::Add>;
+      case RedOp::Min: return &runMatVecRow<T, vop, RedOp::Min>;
+      case RedOp::Max: return &runMatVecRow<T, vop, RedOp::Max>;
+    }
+    return &runMatVecRow<T, vop, RedOp::Add>;
+}
+
+template <typename T>
+MatVecRowFn
+matVecRowFnFor(VecOp vop, RedOp rop)
+{
+    switch (vop) {
+      case VecOp::Mul: return matVecRowFnFor<T, VecOp::Mul>(rop);
+      case VecOp::Add: return matVecRowFnFor<T, VecOp::Add>(rop);
+      case VecOp::Sub: return matVecRowFnFor<T, VecOp::Sub>(rop);
+      case VecOp::Min: return matVecRowFnFor<T, VecOp::Min>(rop);
+      case VecOp::Max: return matVecRowFnFor<T, VecOp::Max>(rop);
+      case VecOp::Nop: return matVecRowFnFor<T, VecOp::Nop>(rop);
+    }
+    return matVecRowFnFor<T, VecOp::Nop>(rop);
+}
+
+MatVecRowFn
+matVecRowFnFor(ElemWidth w, VecOp vop, RedOp rop)
+{
+    switch (w) {
+      case ElemWidth::W8: return matVecRowFnFor<std::int8_t>(vop, rop);
+      case ElemWidth::W16: return matVecRowFnFor<std::int16_t>(vop, rop);
+      case ElemWidth::W32: return matVecRowFnFor<std::int32_t>(vop, rop);
+      case ElemWidth::W64: return matVecRowFnFor<std::int64_t>(vop, rop);
+    }
+    return matVecRowFnFor<std::int64_t>(vop, rop);
 }
 
 std::int64_t
@@ -229,18 +400,6 @@ Pe::stallFor(Counter &counter, Cycles wake_at)
     return false;
 }
 
-std::int64_t
-Pe::loadElemSigned(SpAddr a, ElemWidth w) const
-{
-    switch (w) {
-      case ElemWidth::W8: return scratchpad_.load<std::int8_t>(a);
-      case ElemWidth::W16: return scratchpad_.load<std::int16_t>(a);
-      case ElemWidth::W32: return scratchpad_.load<std::int32_t>(a);
-      case ElemWidth::W64: return scratchpad_.load<std::int64_t>(a);
-    }
-    return 0;
-}
-
 void
 Pe::storeElemSaturating(SpAddr a, ElemWidth w, std::int64_t v)
 {
@@ -352,24 +511,17 @@ Pe::execVector(const Instruction &inst, Cycles now, Cycles done_at)
         const auto dst = static_cast<SpAddr>(regs_[inst.rd]);
         const auto src_a = static_cast<SpAddr>(regs_[inst.rs1]);
         checkReadHazard(src_a, vl * w, now);
-        SpAddr src_b = 0;
-        std::int64_t scalar = 0;
+        std::uint8_t *dp = scratchpad_.bytePtr(dst);
+        const std::uint8_t *ap = scratchpad_.bytePtr(src_a);
         if (inst.op == Opcode::VecVec) {
-            src_b = static_cast<SpAddr>(regs_[inst.rs2]);
+            const auto src_b = static_cast<SpAddr>(regs_[inst.rs2]);
             checkReadHazard(src_b, vl * w, now);
+            vecVecFnFor(inst.width, inst.vop)(
+                dp, ap, scratchpad_.bytePtr(src_b), vl);
         } else {
-            scalar = saturate(static_cast<std::int64_t>(regs_[inst.rs2]),
-                              inst.width);
-        }
-        for (unsigned i = 0; i < vl; ++i) {
-            const std::int64_t a = loadElemSigned(src_a + i * w,
-                                                  inst.width);
-            const std::int64_t b = inst.op == Opcode::VecVec
-                                       ? loadElemSigned(src_b + i * w,
-                                                        inst.width)
-                                       : scalar;
-            storeElemSaturating(dst + i * w, inst.width,
-                                applyVecOp(inst.vop, a, b));
+            const std::int64_t scalar = saturate(
+                static_cast<std::int64_t>(regs_[inst.rs2]), inst.width);
+            vecScalarFnFor(inst.width, inst.vop)(dp, ap, scalar, vl);
         }
         // The destination streams out behind the pipeline depth.
         scratchpad_.markReadyStream(dst, vl * w, done_at - (vl * w) / 8);
@@ -386,18 +538,13 @@ Pe::execVector(const Instruction &inst, Cycles now, Cycles done_at)
     const Cycles depth = done_at - now - row_cycles * mr;
 
     checkReadHazard(vec, vl * w, now);
+    const MatVecRowFn row_fn = matVecRowFnFor(inst.width, inst.vop,
+                                              inst.rop);
+    const std::uint8_t *vp = scratchpad_.bytePtr(vec);
     for (unsigned r = 0; r < mr; ++r) {
         checkReadHazard(mat + r * vl * w, vl * w, now + r * row_cycles);
-        std::int64_t acc = redIdentity(inst.rop);
-        for (unsigned i = 0; i < vl; ++i) {
-            const std::int64_t m = loadElemSigned(mat + (r * vl + i) * w,
-                                                  inst.width);
-            const std::int64_t v = inst.vop == VecOp::Nop
-                                       ? 0
-                                       : loadElemSigned(vec + i * w,
-                                                        inst.width);
-            acc = applyRedOp(inst.rop, acc, applyVecOp(inst.vop, m, v));
-        }
+        const std::int64_t acc =
+            row_fn(scratchpad_.bytePtr(mat + r * vl * w), vp, vl);
         storeElemSaturating(dst + r * w, inst.width, acc);
         scratchpad_.markReadyAt(dst + r * w, w,
                                 now + (r + 1) * row_cycles + depth);
@@ -487,6 +634,38 @@ Pe::issueVector(const Instruction &inst, Cycles now)
     return true;
 }
 
+int
+Pe::allocTransfer(unsigned pieces, int arc_id, int dest_reg)
+{
+    int idx;
+    if (freeTransfer_ >= 0) {
+        idx = freeTransfer_;
+        freeTransfer_ = transfers_[idx].nextFree;
+    } else {
+        idx = static_cast<int>(transfers_.size());
+        transfers_.emplace_back();
+    }
+    transfers_[idx] = Transfer{pieces, arc_id, dest_reg, -1};
+    return idx;
+}
+
+void
+Pe::completeTransferPiece(int slot, const MemRequest &done)
+{
+    vip_assert(lsqLive_ > 0, "LSQ underflow");
+    --lsqLive_;
+    Transfer &t = transfers_[slot];
+    vip_assert(t.pending > 0, "stray transfer completion");
+    if (--t.pending == 0) {
+        if (t.arcId >= 0)
+            arc_.clear(t.arcId);
+        if (t.destReg >= 0)
+            regReadyAt_[t.destReg] = done.completedAt;
+        t.nextFree = freeTransfer_;
+        freeTransfer_ = slot;
+    }
+}
+
 bool
 Pe::issueDramTransfer(Addr dram, unsigned bytes, bool is_write, int arc_id,
                       int dest_reg, Cycles now)
@@ -515,29 +694,26 @@ Pe::issueDramTransfer(Addr dram, unsigned bytes, bool is_write, int arc_id,
         return stallFor(stats_.stallLsq, kIdleForever);
     }
 
-    auto pending = std::make_shared<unsigned>(pieces);
+    // One pooled tracker slot per transfer (instead of a heap-allocated
+    // shared counter), and pooled request descriptors: the steady-state
+    // PE↔memory path allocates nothing. The [this, slot] capture fits
+    // std::function's small-buffer storage, so assigning onComplete
+    // does not allocate either.
+    const int slot = allocTransfer(pieces, arc_id, dest_reg);
     Addr a = dram;
     std::uint64_t rem = bytes;
     while (rem > 0) {
         const auto chunk = static_cast<unsigned>(
             std::min<std::uint64_t>(rem, span - (a % span)));
-        auto req = std::make_unique<MemRequest>();
+        auto req = reqPool_.acquire();
         req->addr = a;
         req->bytes = chunk;
         req->isWrite = is_write;
         req->sourcePe = cfg_.peId;
         req->id = nextReqId_++;
         req->issuedAt = now;
-        req->onComplete = [this, pending, arc_id,
-                           dest_reg](MemRequest &done) {
-            vip_assert(lsqLive_ > 0, "LSQ underflow");
-            --lsqLive_;
-            if (--*pending == 0) {
-                if (arc_id >= 0)
-                    arc_.clear(arc_id);
-                if (dest_reg >= 0)
-                    regReadyAt_[dest_reg] = done.completedAt;
-            }
+        req->onComplete = [this, slot](MemRequest &done) {
+            completeTransferPiece(slot, done);
         };
         ++lsqLive_;
         memIssue_(std::move(req));
@@ -577,10 +753,9 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
             arc_.clear(arc_id);
             return false;
         }
-        // Function: data lands now, in program order.
-        std::vector<std::uint8_t> buf(bytes);
-        dram_.read(dram, buf.data(), bytes);
-        scratchpad_.write(sp, buf.data(), bytes);
+        // Function: data lands now, in program order — straight from
+        // the DRAM pages into the scratchpad, no staging buffer.
+        dram_.copyTo(dram, scratchpad_, sp, bytes);
         return true;
       }
       case Opcode::StSram: {
@@ -595,9 +770,7 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         checkReadHazard(sp, bytes, now);
         if (!issueDramTransfer(dram, bytes, true, -1, -1, now))
             return false;
-        std::vector<std::uint8_t> buf(bytes);
-        scratchpad_.read(sp, buf.data(), bytes);
-        dram_.write(dram, buf.data(), bytes);
+        dram_.copyFrom(dram, scratchpad_, sp, bytes);
         return true;
       }
       case Opcode::LdReg: {
@@ -729,9 +902,11 @@ Pe::tick(Cycles now)
                     inst);
         stats_.instructions += 1;
         stats_.busyCycles += 1;
-        if (!is_branch && !halted_)
-            ++pc_;
-        else if (halted_)
+        // Branches set pc_ themselves; everything else — including
+        // Halt, whose resume-at-next-instruction semantics the host
+        // relies on when it reloads a program — falls through to the
+        // next slot.
+        if (!is_branch)
             ++pc_;
     }
 }

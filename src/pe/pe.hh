@@ -139,6 +139,9 @@ class Pe : public Clocked
 
     const Stats &stats() const { return stats_; }
 
+    /** Pool the PE's DRAM request descriptors recycle through. */
+    const MemRequestPool &requestPool() const { return reqPool_; }
+
     /** Total 16-bit-equivalent vector ALU operations executed. */
     std::uint64_t vectorOps() const { return stats_.vectorLaneOps.value(); }
 
@@ -175,7 +178,23 @@ class Pe : public Clocked
     bool issueDramTransfer(Addr dram, unsigned bytes, bool is_write,
                            int arc_id, int dest_reg, Cycles now);
 
-    std::int64_t loadElemSigned(SpAddr a, ElemWidth w) const;
+    /**
+     * In-flight multi-piece transfer bookkeeping. Slots live in a
+     * free-listed vector so the completion lambdas capture only
+     * (this, slot) — small enough for std::function's inline buffer,
+     * so the steady-state DRAM loop allocates nothing.
+     */
+    struct Transfer
+    {
+        unsigned pending = 0; ///< outstanding vault-split pieces
+        int arcId = -1;       ///< ARC entry to clear on last piece
+        int destReg = -1;     ///< register made valid on last piece
+        int nextFree = -1;    ///< free-list link when retired
+    };
+
+    int allocTransfer(unsigned pieces, int arc_id, int dest_reg);
+    void completeTransferPiece(int slot, const MemRequest &done);
+
     void storeElemSaturating(SpAddr a, ElemWidth w, std::int64_t v);
 
     PeConfig cfg_;
@@ -205,6 +224,9 @@ class Pe : public Clocked
 
     unsigned lsqLive_ = 0;
     std::uint64_t nextReqId_ = 0;
+    std::vector<Transfer> transfers_;
+    int freeTransfer_ = -1;
+    MemRequestPool reqPool_;
     Tracer tracer_;
 
     /** Stall recorded at the last tick: which counter the front end

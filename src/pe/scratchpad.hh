@@ -38,6 +38,26 @@ class Scratchpad
     void read(SpAddr addr, void *dst, unsigned bytes) const;
     void write(SpAddr addr, const void *src, unsigned bytes);
 
+    /**
+     * Raw pointer into the backing store at @p addr. The hot paths
+     * (width-specialized vector kernels, zero-copy DMA) operate on the
+     * bytes in place; callers are responsible for range-checking the
+     * full access (the vector issue stage asserts operand ranges, the
+     * DMA path asserts the transfer range) — this only checks the
+     * start address.
+     */
+    std::uint8_t *
+    bytePtr(SpAddr addr)
+    {
+        return data_.data() + addr;
+    }
+
+    const std::uint8_t *
+    bytePtr(SpAddr addr) const
+    {
+        return data_.data() + addr;
+    }
+
     template <typename T>
     T
     load(SpAddr addr) const

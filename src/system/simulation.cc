@@ -1,5 +1,6 @@
 #include "system/simulation.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
@@ -36,6 +37,13 @@ Simulation::run(Cycles max_cycles)
     }
     result.fastForwardedCycles = sys_.fastForwardStats().skippedCycles;
     result.haltedCleanly = sys_.allIdle();
+    result.peRequestAllocations.reserve(sys_.numPes());
+    for (unsigned pe = 0; pe < sys_.numPes(); ++pe) {
+        const MemRequestPool &pool = sys_.pe(pe).requestPool();
+        result.memRequestPoolHighWater =
+            std::max(result.memRequestPoolHighWater, pool.highWater());
+        result.peRequestAllocations.push_back(pool.allocations());
+    }
     std::ostringstream os;
     sys_.stats().dump(os);
     result.stats = os.str();

@@ -81,6 +81,15 @@ struct RunResult
     /** Dead cycles warped over so far (0 with --no-fast-forward). */
     Cycles fastForwardedCycles = 0;
 
+    /** Largest MemRequest-pool working set across PEs: the most
+     *  descriptors any one PE ever had in flight at once. */
+    unsigned memRequestPoolHighWater = 0;
+
+    /** Per-PE fresh MemRequest heap allocations. Steady state this
+     *  stops growing; a perf PR that reintroduces per-transfer
+     *  allocation shows up here immediately. */
+    std::vector<std::uint64_t> peRequestAllocations;
+
     double ms() const { return cyclesToMs(cycles); }
 };
 

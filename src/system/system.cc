@@ -95,6 +95,9 @@ VipSystem::onVaultComplete(unsigned vault, std::unique_ptr<MemRequest> req)
         owned->completedAt = p.deliveredAt;
         if (owned->onComplete)
             owned->onComplete(*owned);
+        // The issuer is done with the descriptor; recycle pooled ones.
+        if (owned->pool)
+            owned->pool->release(std::move(owned));
     };
     noc_.send(std::move(pkt), now_);
 }

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Capture host-performance numbers into BENCH_hotpath.json.
+
+Runs the micro_components Google-Benchmark suite (JSON output) and a
+small table4_cnn sweep from a Release build, then merges the results
+under a label ("baseline" for the pre-PR commit, "optimized" for the
+PR head) into a single checked-in file, so the speedup ratio survives
+in-tree:
+
+    tools/bench-baseline.py --build build-release --label baseline
+    # ...apply the PR...
+    tools/bench-baseline.py --build build-release --label optimized
+
+Benchmarks that report items_per_second simulate that many machine
+cycles per host second, so their entries carry the ISSUE-facing
+triple (cycles, hostSeconds, simCyclesPerHostSecond); the rest record
+wall time only. Run both labels on the same quiet machine — the file
+documents a ratio, not an absolute.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Keep the checked-in file focused on the simulator's hot loops; the
+# reference-model and assembler benches are not what perf PRs target.
+MICRO_FILTER = ("BM_FastForwardStreamCopy|BM_PeScalarLoop|"
+                "BM_SimulatedBpSweep|BM_VaultSequentialReads|"
+                "BM_TorusAllToOne")
+
+SWEEP_FRAC = "0.02"
+
+
+def run_micro(build_dir):
+    exe = os.path.join(build_dir, "bench", "micro_components")
+    out = subprocess.run(
+        [exe, "--benchmark_filter=" + MICRO_FILTER,
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True).stdout
+    results = {}
+    for bench in json.loads(out)["benchmarks"]:
+        if bench.get("run_type") == "aggregate":
+            continue
+        secs = bench["real_time"] * {"ns": 1e-9, "us": 1e-6,
+                                     "ms": 1e-3, "s": 1.0}[
+                                         bench["time_unit"]]
+        entry = {"hostSeconds": secs}
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            # items == simulated cycles for these benches.
+            entry["simCyclesPerHostSecond"] = ips
+            entry["cycles"] = int(round(
+                ips * secs * bench["iterations"]))
+        results[bench["name"]] = entry
+    return results
+
+
+def run_sweep(build_dir):
+    exe = os.path.join(build_dir, "bench", "table4_cnn")
+    start = time.monotonic()
+    subprocess.run([exe, SWEEP_FRAC, "--jobs", "1"], check=True,
+                   capture_output=True, text=True)
+    return {"hostSeconds": time.monotonic() - start,
+            "frac": float(SWEEP_FRAC), "jobs": 1}
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="record host-perf numbers into BENCH_hotpath.json")
+    ap.add_argument("--build", default="build-release",
+                    help="Release build directory (default: %(default)s)")
+    ap.add_argument("--label", required=True,
+                    choices=["baseline", "optimized"],
+                    help="which column of the file to (over)write")
+    ap.add_argument("--out",
+                    default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"))
+    ap.add_argument("--skip-sweep", action="store_true",
+                    help="skip the table4_cnn end-to-end sweep")
+    args = ap.parse_args()
+
+    merged = {"benchmarks": {}, "sweep": {}}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            merged = json.load(f)
+
+    for name, entry in run_micro(args.build).items():
+        merged["benchmarks"].setdefault(name, {})[args.label] = entry
+    if not args.skip_sweep:
+        merged["sweep"].setdefault("table4_cnn", {})[args.label] = \
+            run_sweep(args.build)
+
+    head = merged["benchmarks"].get("BM_FastForwardStreamCopy/0", {})
+    if "baseline" in head and "optimized" in head:
+        merged["headlineSpeedup"] = round(
+            head["optimized"]["simCyclesPerHostSecond"] /
+            head["baseline"]["simCyclesPerHostSecond"], 3)
+
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.label} numbers to {args.out}")
+    if "headlineSpeedup" in merged:
+        print(f"BM_FastForwardStreamCopy/0 speedup: "
+              f"{merged['headlineSpeedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

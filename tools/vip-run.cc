@@ -206,7 +206,15 @@ main(int argc, char **argv)
             os << "    \"hostSeconds\": " << buf << ",\n";
             std::snprintf(buf, sizeof(buf), "%.17g",
                           result.simCyclesPerHostSecond);
-            os << "    \"simCyclesPerHostSecond\": " << buf << "\n"
+            os << "    \"simCyclesPerHostSecond\": " << buf << ",\n"
+               << "    \"memRequestPoolHighWater\": "
+               << result.memRequestPoolHighWater << ",\n"
+               << "    \"peRequestAllocations\": [";
+            for (std::size_t i = 0;
+                 i < result.peRequestAllocations.size(); ++i) {
+                os << (i ? ", " : "") << result.peRequestAllocations[i];
+            }
+            os << "]\n"
                << "  },\n  \"system\": ";
             sys.stats().dumpJsonValue(os, 1);
             os << "\n}\n";
