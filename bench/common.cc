@@ -67,7 +67,28 @@ runSweep(const std::vector<std::function<SliceResult()>> &points,
          unsigned jobs)
 {
     SweepEngine engine(jobs);
-    return engine.run(points);
+    const auto outcomes = engine.runResilient<SliceResult>(points);
+    std::vector<SliceResult> results;
+    results.reserve(outcomes.size());
+    unsigned failed = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto &o = outcomes[i];
+        if (!o.ok) {
+            ++failed;
+            std::fprintf(stderr,
+                         "warning: sweep point %zu failed (%s): %s\n",
+                         i, o.failure.kind.c_str(),
+                         o.failure.message.c_str());
+        }
+        results.push_back(o.result);
+    }
+    if (failed > 0) {
+        std::fprintf(stderr,
+                     "warning: %u of %zu sweep points failed; their "
+                     "rows are zeroed below\n",
+                     failed, outcomes.size());
+    }
+    return results;
 }
 
 void

@@ -89,7 +89,9 @@ BenchOptions parseBenchOptions(int argc, char **argv,
  * Run every sweep point through a SweepEngine with @p jobs workers
  * (0 = hardware concurrency) and return results keyed by submission
  * index. Each point must build, run, and destroy its own system —
- * which every run* helper below does.
+ * which every run* helper below does. A point that throws (bad
+ * config, watchdog deadlock) is reported on stderr and its row left
+ * default-constructed; the rest of the sweep completes.
  */
 std::vector<SliceResult>
 runSweep(const std::vector<std::function<SliceResult()>> &points,

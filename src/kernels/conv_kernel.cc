@@ -3,6 +3,7 @@
 #include "isa/builder.hh"
 #include "kernels/emit_util.hh"
 #include "pe/scratchpad.hh"
+#include "sim/error.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -59,8 +60,14 @@ convFiltersResident(unsigned z_shard, unsigned kernel)
     // 4 accumulato/temp vectors (32 B each) + (k+1) column slots.
     const unsigned cols = (kernel + 1) * kernel * z_shard * 2;
     const unsigned misc = 5 * 32;
-    vip_assert(cols + misc < Scratchpad::kBytes,
-               "z shard too large for the scratchpad");
+    if (cols + misc >= Scratchpad::kBytes) {
+        throw ConfigError(
+            "conv z shard of " + std::to_string(z_shard) +
+            " channels needs " + std::to_string(cols + misc) +
+            " B of scratchpad for column slots alone (capacity " +
+            std::to_string(Scratchpad::kBytes) +
+            " B); shard the input channels further");
+    }
     const unsigned left = Scratchpad::kBytes - cols - misc;
     const unsigned per_filter = kernel * kernel * z_shard * 2;
     // The parity-pair accumulators are sized to the group; cap at 32
@@ -133,9 +140,14 @@ genConvPass(const ConvJob &job)
     const SpAddr sp_tmp2b = sp_tmp2 + acc_slot;
     const SpAddr sp_col = sp_tmp2b + acc_slot;
     const unsigned col_slot = kK * zc * 2;
-    vip_assert(sp_col + 4 * col_slot <= Scratchpad::kBytes,
-               "conv job does not fit the scratchpad (filters ",
-               kK * mat_bytes, " B + columns ", 4 * col_slot, " B)");
+    if (sp_col + 4 * col_slot > Scratchpad::kBytes) {
+        throw ConfigError(
+            "conv job does not fit the scratchpad: filters " +
+            std::to_string(kK * mat_bytes) + " B + columns " +
+            std::to_string(4 * col_slot) + " B exceed " +
+            std::to_string(Scratchpad::kBytes) +
+            " B; reduce filtersResident or the z shard");
+    }
 
     // Parity-pair buffer registers.
     constexpr unsigned RTWO = 33;
@@ -376,8 +388,15 @@ genConvAccum(const ConvAccumJob &job)
     const SpAddr sp_biasrow = 0;
     const SpAddr sp_acc = sp_biasrow + chunk_bytes;
     const SpAddr sp_tmp = sp_acc + chunk_bytes;
-    vip_assert(sp_tmp + chunk_bytes <= Scratchpad::kBytes,
-               "accumulation chunk too large");
+    if (sp_tmp + chunk_bytes > Scratchpad::kBytes) {
+        throw ConfigError(
+            "conv accumulation chunk of " +
+            std::to_string(job.chunkElems) + " elements needs " +
+            std::to_string(sp_tmp + chunk_bytes) +
+            " B of scratchpad (capacity " +
+            std::to_string(Scratchpad::kBytes) +
+            " B); lower chunkElems");
+    }
 
     // r40 + s: per-shard row pointers.
     constexpr unsigned RPART0 = 40;

@@ -3,6 +3,7 @@
 #include "isa/builder.hh"
 #include "kernels/emit_util.hh"
 #include "pe/scratchpad.hh"
+#include "sim/error.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -63,9 +64,14 @@ genFcPartial(const FcPartialJob &job)
     const SpAddr sp_ob = sp_w1 + seg_bytes;
     const SpAddr sp_bias = sp_ob + ob * 2;
     const SpAddr sp_end = sp_bias + (job.finalize ? ob * 2 : 0);
-    vip_assert(sp_end <= Scratchpad::kBytes,
-               "FC job does not fit the scratchpad (segment ", seg_bytes,
-               " B x3 + blocks)");
+    if (sp_end > Scratchpad::kBytes) {
+        throw ConfigError(
+            "FC job does not fit the scratchpad: segment " +
+            std::to_string(seg_bytes) + " B x3 + blocks need " +
+            std::to_string(sp_end) + " B (capacity " +
+            std::to_string(Scratchpad::kBytes) +
+            " B); shorten the input segment or outBlock");
+    }
 
     AsmBuilder b;
     b.movImm(RZ, 0);
@@ -169,8 +175,13 @@ genFcAccum(const FcAccumJob &job)
     const SpAddr sp_acc = 0;
     const SpAddr sp_tmp = sp_acc + chunk_bytes;
     const SpAddr sp_bias = sp_tmp + chunk_bytes;
-    vip_assert(sp_bias + chunk_bytes <= Scratchpad::kBytes,
-               "accumulation chunk too large");
+    if (sp_bias + chunk_bytes > Scratchpad::kBytes) {
+        throw ConfigError(
+            "FC accumulation chunk of " + std::to_string(chunk) +
+            " outputs needs " + std::to_string(sp_bias + chunk_bytes) +
+            " B of scratchpad (capacity " +
+            std::to_string(Scratchpad::kBytes) + " B); lower chunk");
+    }
 
     // Extra registers for the two-level walk.
     constexpr unsigned ROUTERB = 35;  // outer-level walking base

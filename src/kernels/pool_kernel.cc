@@ -2,6 +2,7 @@
 
 #include "isa/builder.hh"
 #include "pe/scratchpad.hh"
+#include "sim/error.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -46,8 +47,13 @@ genPool(const PoolJob &job)
     vip_assert(chunk > 0 && C % chunk == 0,
                "chunk must divide the channel count");
     const unsigned chunk_bytes = chunk * 2;
-    vip_assert(5 * chunk_bytes <= Scratchpad::kBytes,
-               "pool chunk too large");
+    if (5 * chunk_bytes > Scratchpad::kBytes) {
+        throw ConfigError(
+            "pool chunk of " + std::to_string(chunk) +
+            " channels needs 5 x " + std::to_string(chunk_bytes) +
+            " B of scratchpad (capacity " +
+            std::to_string(Scratchpad::kBytes) + " B); lower chunk");
+    }
     vip_assert(job.out->channels() == C, "channel mismatch");
 
     const SpAddr sp_p00 = 0;

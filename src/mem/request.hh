@@ -62,8 +62,12 @@ struct MemRequest
  * The pool must outlive every completion callback of its requests
  * (the issuing PE owns both, and completions are delivered only while
  * the machine ticks). Requests still in flight at teardown are freed
- * normally by whoever holds them — release() is only called from the
- * completion paths, so a destroyed pool is never touched.
+ * by their owning container — a vault queue, the system's ingress
+ * deques, or the system's NoC parking table (see
+ * VipSystem::parkRequest) — never by the pool: release() is only
+ * called from the completion paths, so a destroyed pool is never
+ * touched, and a machine torn down mid-flight (expired budget,
+ * deadlock throw) leaks nothing.
  */
 class MemRequestPool
 {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -135,6 +136,31 @@ VaultController::beginRefresh(Cycles now)
     refreshUntil_ = now + cfg_.timing.tRFC;
     nextRefreshAt_ += cfg_.timing.tREFI;
     stats_.refreshes += 1;
+
+    // Retention errors: keyed by (vault, refresh ordinal), never the
+    // cycle, so fast-forwarded and ticked runs strike identically.
+    const std::uint64_t refresh_index = refreshIndex_++;
+    if (injector_) {
+        std::uint64_t dice = 0;
+        if (injector_->retentionStrike(vaultId_, refresh_index, &dice)) {
+            // Split the dice into a victim cell in this vault; the
+            // injector cannot pick it itself because the address
+            // mapping lives on this side of the layering.
+            const DramGeometry &g = cfg_.geom;
+            DramCoord c;
+            c.vault = vaultId_;
+            c.bank = static_cast<unsigned>(dice % g.banksPerVault);
+            dice /= g.banksPerVault;
+            c.row = dice % g.rowsPerBank;
+            dice /= g.rowsPerBank;
+            c.col = static_cast<unsigned>(dice % g.colsPerRow());
+            dice /= g.colsPerRow();
+            c.offset = static_cast<unsigned>(dice % g.colBytes);
+            dice /= g.colBytes;
+            injector_->plantRetentionFlip(
+                mapper_.encode(c), static_cast<unsigned>(dice % 8));
+        }
+    }
 }
 
 void

@@ -24,6 +24,8 @@
 
 namespace vip {
 
+class FaultInjector;
+
 class VaultController : public Clocked
 {
   public:
@@ -100,6 +102,14 @@ class VaultController : public Clocked
 
     /** Distribution of transaction latencies (cycles). */
     const Histogram &latencyHistogram() const { return latencyHist_; }
+
+    /**
+     * Attach a fault injector: each refresh interval rolls for a
+     * retention error (a weak cell that decayed before the refresh
+     * reached it); on a hit this vault picks the victim cell from the
+     * injector's dice and plants the flip. Null detaches.
+     */
+    void setFaultInjector(FaultInjector *f) { injector_ = f; }
 
   private:
     /**
@@ -199,6 +209,9 @@ class VaultController : public Clocked
     Cycles refreshUntil_ = 0;
     Cycles nextRefreshAt_;
     CompletionHandler completionHandler_;
+
+    FaultInjector *injector_ = nullptr;
+    std::uint64_t refreshIndex_ = 0;  ///< refreshes begun (event key)
 
     StatGroup statGroup_;
     Stats stats_;

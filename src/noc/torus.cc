@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -64,6 +65,7 @@ TorusNoc::send(Packet pkt, Cycles now)
     vip_assert(pkt.src < numNodes() && pkt.dst < numNodes(),
                "packet endpoints out of range");
     pkt.injectedAt = now;
+    pkt.seq = nextSeq_++;
 
     std::size_t slot;
     if (!freeSlots_.empty()) {
@@ -95,6 +97,23 @@ TorusNoc::advance(std::size_t packet_index, unsigned node, Cycles now)
 
     if (node == pkt.dst) {
         if (!pkt.ejected) {
+            if (injector_ &&
+                injector_->onNocArrival(pkt.seq, pkt.attempts) !=
+                    FaultInjector::NocVerdict::Deliver) {
+                // Lost at the ejection port (dropped flit or link CRC
+                // failure): the link-level retry re-injects the whole
+                // packet from its source, re-paying serialization on
+                // the injection link and every hop. injectedAt is
+                // preserved so latency statistics absorb the retry.
+                if (pkt.attempts < UINT16_MAX)
+                    ++pkt.attempts;
+                const Cycles start = occupy(
+                    linkId(pkt.src,
+                           static_cast<Port>(InjectBase + pkt.srcLane)),
+                    now, bytes);
+                events_.push({start + ser, packet_index, pkt.src});
+                return;
+            }
             // Reserve the ejection port; deliver when the tail clears it.
             const Cycles start = occupy(
                 linkId(node, static_cast<Port>(EjectBase + pkt.dstLane)),

@@ -29,6 +29,8 @@
 
 namespace vip {
 
+class FaultInjector;
+
 /** One message travelling between vault nodes. */
 struct Packet
 {
@@ -53,6 +55,19 @@ struct Packet
 
     /** Internal: set once the ejection port has been reserved. */
     bool ejected = false;
+
+    /** Delivery attempts so far (> 0 after an injected drop/CRC
+     *  failure forced a retransmission). Saturates rather than wraps
+     *  so a forced-drop campaign cannot recycle attempt identities. */
+    std::uint16_t attempts = 0;
+
+    /** Injection-order sequence number, assigned by send(). Stable
+     *  across retransmissions — it is the packet's event identity for
+     *  deterministic fault injection (a deterministic wrap after 2^32
+     *  packets keeps runs reproducible). Narrow on purpose: together
+     *  with `attempts` it fits the padding after `ejected`, keeping
+     *  the hot slot table at its pre-fault-subsystem footprint. */
+    std::uint32_t seq = 0;
 };
 
 class TorusNoc : public Clocked
@@ -94,6 +109,20 @@ class TorusNoc : public Clocked
 
     /** Packets delivered so far. */
     std::uint64_t delivered() const { return statDelivered_.value(); }
+
+    /** Packets currently in flight (injected, not yet delivered). */
+    std::size_t
+    inFlight() const
+    {
+        return packets_.size() - freeSlots_.size();
+    }
+
+    /**
+     * Attach a fault injector: each packet reaching its ejection port
+     * rolls for loss/corruption and, on a hit, is retransmitted from
+     * its source injection link (link-level retry). Null detaches.
+     */
+    void setFaultInjector(FaultInjector *f) { injector_ = f; }
 
     /** Distribution of packet latencies (cycles). */
     const Histogram &latencyHistogram() const { return latencyHist_; }
@@ -156,6 +185,9 @@ class TorusNoc : public Clocked
     std::vector<std::size_t> freeSlots_;
     std::vector<Cycles> linkFreeAt_;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+    std::uint32_t nextSeq_ = 0;        ///< injection-order stamp
+    FaultInjector *injector_ = nullptr;
 
     StatGroup statGroup_;
     Counter statDelivered_;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -754,7 +755,12 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
             return false;
         }
         // Function: data lands now, in program order — straight from
-        // the DRAM pages into the scratchpad, no staging buffer.
+        // the DRAM pages into the scratchpad, no staging buffer. Fault
+        // injection hooks the same functional boundary: flips (and ECC
+        // correction) happen before the data is copied, so corruption
+        // is architecturally visible exactly when ECC misses it.
+        if (injector_)
+            injector_->onDramRead(dram, bytes);
         dram_.copyTo(dram, scratchpad_, sp, bytes);
         return true;
       }
@@ -771,6 +777,8 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         if (!issueDramTransfer(dram, bytes, true, -1, -1, now))
             return false;
         dram_.copyFrom(dram, scratchpad_, sp, bytes);
+        if (injector_)
+            injector_->onDramWrite(dram, bytes);
         return true;
       }
       case Opcode::LdReg: {
@@ -780,6 +788,8 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
             return false;
         }
         // Sign-extended functional load at issue.
+        if (injector_)
+            injector_->onDramRead(dram, w);
         std::int64_t v = 0;
         switch (inst.width) {
           case ElemWidth::W8: v = dram_.load<std::int8_t>(dram); break;
@@ -812,6 +822,8 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
             dram_.store<std::uint64_t>(dram, v);
             break;
         }
+        if (injector_)
+            injector_->onDramWrite(dram, w);
         return true;
       }
       default:
@@ -902,6 +914,17 @@ Pe::tick(Cycles now)
                     inst);
         stats_.instructions += 1;
         stats_.busyCycles += 1;
+        if (injector_) {
+            // Scratchpad upsets: keyed by (PE, instruction ordinal),
+            // never the cycle, so fast-forward injects identically.
+            const long bit = injector_->spFlip(
+                cfg_.peId, stats_.instructions.value(),
+                std::uint64_t{Scratchpad::kBytes} * 8);
+            if (bit >= 0) {
+                *scratchpad_.bytePtr(static_cast<SpAddr>(bit / 8)) ^=
+                    static_cast<std::uint8_t>(1u << (bit % 8));
+            }
+        }
         // Branches set pc_ themselves; everything else — including
         // Halt, whose resume-at-next-instruction semantics the host
         // relies on when it reloads a program — falls through to the
@@ -909,6 +932,24 @@ Pe::tick(Cycles now)
         if (!is_branch)
             ++pc_;
     }
+}
+
+std::string
+Pe::stallReason() const
+{
+    if (halted_)
+        return "halted";
+    if (stallCounter_ == nullptr)
+        return "ready";
+    return stallCounter_->name();
+}
+
+const Instruction *
+Pe::currentInstruction() const
+{
+    if (halted_ || pc_ >= prog_.size())
+        return nullptr;
+    return &prog_[pc_];
 }
 
 Cycles

@@ -42,6 +42,8 @@
 
 namespace vip {
 
+class FaultInjector;
+
 /** Static configuration of one PE. */
 struct PeConfig
 {
@@ -113,6 +115,32 @@ class Pe : public Clocked
 
     /** Halted with no outstanding memory traffic. */
     bool idle() const { return halted_ && lsqLive_ == 0; }
+
+    /**
+     * Attach a fault injector: functional DRAM reads/writes pass
+     * through it (transient flips + ECC scrub on the read path) and
+     * each issued instruction rolls for a scratchpad upset. Null
+     * detaches; the hooks cost nothing when detached.
+     */
+    void setFaultInjector(FaultInjector *f) { injector_ = f; }
+
+    // --- deadlock-diagnosis observers (see VipSystem::run) ---
+
+    /** Current program counter. */
+    std::size_t pc() const { return pc_; }
+
+    /** Outstanding LSQ entries (issued, response not yet seen). */
+    unsigned lsqOutstanding() const { return lsqLive_; }
+
+    /**
+     * Why the front end is not issuing: the stall counter charged at
+     * the last tick ("stall_lsq", "stall_scalar", ...), "halted" when
+     * halted, or "ready" when actively issuing.
+     */
+    std::string stallReason() const;
+
+    /** The instruction at the PC, or null when halted/out of range. */
+    const Instruction *currentInstruction() const;
 
     Scratchpad &scratchpad() { return scratchpad_; }
     const Scratchpad &scratchpad() const { return scratchpad_; }
@@ -224,6 +252,7 @@ class Pe : public Clocked
 
     unsigned lsqLive_ = 0;
     std::uint64_t nextReqId_ = 0;
+    FaultInjector *injector_ = nullptr;
     std::vector<Transfer> transfers_;
     int freeTransfer_ = -1;
     MemRequestPool reqPool_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/error.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -38,11 +39,29 @@ void
 SweepEngine::runJob(const Job &job)
 {
     setLogThreadLabel("job" + std::to_string(job.index));
+    SweepFailure failure;
+    failure.index = job.index;
+    std::exception_ptr eptr;
     try {
         job.fn();
+    } catch (const SimError &e) {
+        eptr = std::current_exception();
+        failure.kind = e.kind();
+        failure.message = e.message();
+        failure.detail = e.detail();
+    } catch (const std::exception &e) {
+        eptr = std::current_exception();
+        failure.kind = "exception";
+        failure.message = e.what();
     } catch (...) {
+        eptr = std::current_exception();
+        failure.kind = "unknown";
+        failure.message = "non-exception object thrown";
+    }
+    if (eptr) {
         std::unique_lock<std::mutex> lock(mutex_);
-        errors_.emplace_back(job.index, std::current_exception());
+        errors_.emplace_back(job.index, eptr);
+        failures_.push_back(std::move(failure));
     }
     setLogThreadLabel("");
 }
@@ -99,10 +118,12 @@ SweepEngine::wait()
     std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
     if (jobs_ == 1) {
         errors.swap(errors_);
+        failures_.clear();
     } else {
         std::unique_lock<std::mutex> lock(mutex_);
         allDone_.wait(lock, [this] { return inFlight_ == 0; });
         errors.swap(errors_);
+        failures_.clear();
     }
     if (errors.empty())
         return;
@@ -112,6 +133,26 @@ SweepEngine::wait()
         errors.begin(), errors.end(),
         [](const auto &a, const auto &b) { return a.first < b.first; });
     std::rethrow_exception(first->second);
+}
+
+std::vector<SweepFailure>
+SweepEngine::waitCollect()
+{
+    std::vector<SweepFailure> failures;
+    if (jobs_ == 1) {
+        failures.swap(failures_);
+        errors_.clear();
+    } else {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+        failures.swap(failures_);
+        errors_.clear();
+    }
+    std::sort(failures.begin(), failures.end(),
+              [](const SweepFailure &a, const SweepFailure &b) {
+                  return a.index < b.index;
+              });
+    return failures;
 }
 
 } // namespace vip

@@ -35,10 +35,27 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace vip {
+
+/**
+ * What went wrong in one sweep job, captured structurally so a sweep
+ * harness can attach the failure to its point instead of losing the
+ * whole campaign. `kind` is SimError::kind() for simulator errors
+ * ("config", "deadlock", ...), "exception" for other std::exceptions,
+ * and "unknown" for anything else thrown.
+ */
+struct SweepFailure
+{
+    std::size_t index = 0;  ///< submission index of the failed job
+    std::string kind;
+    std::string message;    ///< one-line summary (what()/message())
+    std::string detail;     ///< multi-line report (e.g. deadlock
+                            ///< diagnosis); empty when there is none
+};
 
 /** Deterministic per-job RNG seed (SplitMix64 scramble of the index). */
 inline std::uint64_t
@@ -86,6 +103,14 @@ class SweepEngine
     void wait();
 
     /**
+     * Block until every job submitted so far has finished and return
+     * the failures (sorted by submission index) instead of throwing —
+     * the isolation primitive: a wedged or misconfigured point reports
+     * itself here while its siblings' results stand.
+     */
+    std::vector<SweepFailure> waitCollect();
+
+    /**
      * Run a whole sweep: execute every callable and return its results
      * keyed by submission index. `R` must be default-constructible.
      */
@@ -99,6 +124,45 @@ class SweepEngine
         }
         wait();
         return results;
+    }
+
+    /** One point's outcome from runResilient(). */
+    template <typename R>
+    struct Outcome
+    {
+        R result{};           ///< default-constructed when !ok
+        bool ok = true;
+        SweepFailure failure; ///< meaningful only when !ok
+    };
+
+    /**
+     * Like run(), but a throwing point marks only its own outcome
+     * failed (carrying the structured failure) and every other point
+     * completes normally.
+     */
+    template <typename R>
+    std::vector<Outcome<R>>
+    runResilient(const std::vector<std::function<R()>> &points)
+    {
+        std::vector<Outcome<R>> outcomes(points.size());
+        std::size_t base = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::size_t idx = submit([&outcomes, &points, i] {
+                outcomes[i].result = points[i]();
+            });
+            if (i == 0)
+                base = idx;
+        }
+        for (SweepFailure &f : waitCollect()) {
+            // Failures are keyed by global submission index; only map
+            // the ones belonging to this batch.
+            if (f.index < base || f.index - base >= outcomes.size())
+                continue;
+            const std::size_t i = f.index - base;
+            outcomes[i].ok = false;
+            outcomes[i].failure = std::move(f);
+        }
+        return outcomes;
     }
 
   private:
@@ -122,8 +186,10 @@ class SweepEngine
     std::size_t inFlight_ = 0;    ///< queued + currently running
     bool shuttingDown_ = false;
 
-    /** (submission index, exception) for failed jobs. */
+    /** (submission index, exception) for failed jobs, kept for
+     *  wait()'s rethrow; failures_ carries the structured capture. */
     std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+    std::vector<SweepFailure> failures_;
 };
 
 } // namespace vip

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "isa/assembler.hh"
-#include "sim/logging.hh"
+#include "sim/error.hh"
 
 namespace vip {
 
@@ -15,7 +15,7 @@ Simulation::loadProgram(unsigned pe, const std::string &source)
     AssemblyError err;
     auto prog = assemble(source, &err);
     if (!err.message.empty())
-        vip_fatal("assembly error at line ", err.line, ": ", err.message);
+        throw AssemblyFailure(err.line, err.message);
     sys_.pe(pe).loadProgram(std::move(prog));
     return *this;
 }
@@ -43,6 +43,10 @@ Simulation::run(Cycles max_cycles)
         result.memRequestPoolHighWater =
             std::max(result.memRequestPoolHighWater, pool.highWater());
         result.peRequestAllocations.push_back(pool.allocations());
+    }
+    if (const FaultInjector *f = sys_.faultInjector()) {
+        result.faultInjectionEnabled = true;
+        result.faults = f->stats();
     }
     std::ostringstream os;
     sys_.stats().dump(os);

@@ -90,6 +90,13 @@ struct RunResult
      *  allocation shows up here immediately. */
     std::vector<std::uint64_t> peRequestAllocations;
 
+    /** True when the run executed under a FaultPlan; the counters
+     *  below are only meaningful then. */
+    bool faultInjectionEnabled = false;
+
+    /** Injection and ECC counters (see sim/fault.hh). */
+    FaultStats faults;
+
     double ms() const { return cyclesToMs(cycles); }
 };
 
@@ -107,8 +114,9 @@ class Simulation
 
     /**
      * Assemble @p source (the paper's assembly notation) and load it
-     * onto PE @p pe; exits with a diagnostic on assembly errors. Use
-     * assemble() + the Instruction overload to handle errors yourself.
+     * onto PE @p pe; throws AssemblyFailure (with the 1-based source
+     * line) on assembly errors. Use assemble() + the Instruction
+     * overload to inspect errors without exceptions.
      */
     Simulation &loadProgram(unsigned pe, const std::string &source);
 
@@ -128,11 +136,15 @@ class Simulation
         return *this;
     }
 
-    /** Store one 16-bit value into DRAM before (or between) runs. */
+    /** Store one 16-bit value into DRAM before (or between) runs.
+     *  Host writes overwrite any injected flips in the covered bytes
+     *  (the injector's ECC record is healed to match). */
     Simulation &
     pokeDram(Addr addr, std::int16_t value)
     {
         sys_.dram().store<std::int16_t>(addr, value);
+        if (FaultInjector *f = sys_.faultInjector())
+            f->onDramWrite(addr, 2);
         return *this;
     }
 
@@ -144,6 +156,8 @@ class Simulation
             sys_.dram().store<std::int16_t>(
                 addr + 2 * static_cast<Addr>(i), values[i]);
         }
+        if (FaultInjector *f = sys_.faultInjector())
+            f->onDramWrite(addr, 2 * values.size());
         return *this;
     }
 

@@ -23,6 +23,7 @@
 #include "noc/torus.hh"
 #include "pe/pe.hh"
 #include "sim/clocked.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace vip {
@@ -48,7 +49,17 @@ struct SystemConfig
      * but can be disabled (--no-fast-forward) to test exactly that.
      */
     bool fastForward = true;
+
+    /** Fault-injection campaign; disabled (and costless) by default. */
+    FaultPlan faults;
 };
+
+/**
+ * Reject configurations that would wedge, corrupt, or UB downstream,
+ * with messages naming the offending parameter. Throws ConfigError.
+ * VipSystem's constructor calls this before building anything.
+ */
+void validateSystemConfig(const SystemConfig &cfg);
 
 class VipSystem
 {
@@ -111,8 +122,18 @@ class VipSystem
 
     StatGroup &stats() { return statGroup_; }
 
-    /** Achieved DRAM bandwidth in GB/s over the simulated interval. */
-    double achievedBandwidthGBs() const;
+    /** The fault injector, or null when injection is disabled. */
+    FaultInjector *faultInjector() { return injector_.get(); }
+    const FaultInjector *faultInjector() const { return injector_.get(); }
+
+    /**
+     * Snapshot of the machine's stuck state, formatted for humans: the
+     * non-idle PEs (PC, current instruction, stall reason, LSQ
+     * occupancy), backed-up vaults (queued transactions, parked
+     * ingress requests, next completion), and NoC in-flight count.
+     * run() attaches this to the DeadlockError its watchdog throws.
+     */
+    std::string deadlockDiagnosis() const;
 
     /** Total vector ALU operations across all PEs. */
     std::uint64_t totalVectorOps() const;
@@ -120,10 +141,45 @@ class VipSystem
     /** Achieved compute throughput in GOp/s over the interval. */
     double achievedGops() const;
 
+    /** Achieved DRAM bandwidth in GB/s over the interval. */
+    double achievedBandwidthGBs() const;
+
   private:
     void routeRequest(std::unique_ptr<MemRequest> req, unsigned src_vault);
     void deliverToVault(unsigned vault, std::unique_ptr<MemRequest> req);
     void onVaultComplete(unsigned vault, std::unique_ptr<MemRequest> req);
+
+    /**
+     * Park a request travelling inside a NoC packet; the slot table —
+     * not the packet's copyable onArrive closure — owns the
+     * descriptor. This keeps teardown leak-free when the machine is
+     * destroyed with packets still in flight (a deadlock throw or an
+     * expired cycle budget), which a raw release() into the closure
+     * could not: destroying a std::function does not free what a
+     * captured raw pointer points at.
+     */
+    std::size_t
+    parkRequest(std::unique_ptr<MemRequest> req)
+    {
+        std::size_t slot;
+        if (nocParkedFree_.empty()) {
+            slot = nocParked_.size();
+            nocParked_.emplace_back();
+        } else {
+            slot = nocParkedFree_.back();
+            nocParkedFree_.pop_back();
+        }
+        nocParked_[slot] = std::move(req);
+        return slot;
+    }
+
+    std::unique_ptr<MemRequest>
+    unparkRequest(std::size_t slot)
+    {
+        auto req = std::move(nocParked_[slot]);
+        nocParkedFree_.push_back(slot);
+        return req;
+    }
 
     /**
      * The per-vault queues of requests that reached their home vault
@@ -148,6 +204,11 @@ class VipSystem
     HmcStack hmc_;
     TorusNoc noc_;
     std::vector<std::unique_ptr<Pe>> pes_;
+    std::unique_ptr<FaultInjector> injector_;
+
+    /** Requests in flight inside NoC packets (see parkRequest). */
+    std::vector<std::unique_ptr<MemRequest>> nocParked_;
+    std::vector<std::size_t> nocParkedFree_;
 
     /** Requests that reached their vault but found its queue full. */
     std::vector<std::deque<std::unique_ptr<MemRequest>>> ingress_;

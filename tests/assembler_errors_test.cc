@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The assembler's error paths: every malformed input must come back as
+ * an AssemblyError carrying the right 1-based source line — never a
+ * crash, never a partial program — and the Simulation facade must
+ * surface the same failure as a structured AssemblyFailure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "isa/assembler.hh"
+#include "sim/error.hh"
+#include "system/simulation.hh"
+
+namespace vip {
+namespace {
+
+/** Assemble expecting failure; returns the reported error. */
+AssemblyError
+expectError(const std::string &source)
+{
+    AssemblyError err;
+    const auto prog = assemble(source, &err);
+    EXPECT_FALSE(err.message.empty()) << "assembled without error:\n"
+                                      << source;
+    EXPECT_TRUE(prog.empty());
+    return err;
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    const AssemblyError err = expectError("mov.imm r1, 8\n"
+                                          "frobnicate r1, r2\n"
+                                          "halt\n");
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_NE(err.message.find("frobnicate"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, OutOfRangeRegister)
+{
+    // r64 is one past the 64-entry scalar register file.
+    const AssemblyError err = expectError("mov.imm r64, 1\n");
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.message.find("r64"), std::string::npos) << err.message;
+}
+
+TEST(AssemblerErrors, MalformedRegisterToken)
+{
+    const AssemblyError err = expectError("mov.imm rx, 1\n");
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.message.find("register"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    const AssemblyError err = expectError("mov.imm r1, 0\n"
+                                          "mov.imm r2, 4\n"
+                                          "blt r1, r2, nowhere\n"
+                                          "halt\n");
+    // The fixup pass reports the line of the branch that referenced
+    // the missing label, not the end of the file.
+    EXPECT_EQ(err.line, 3u);
+    EXPECT_NE(err.message.find("nowhere"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    const AssemblyError err = expectError("loop:\n"
+                                          "  halt\n"
+                                          "loop:\n"
+                                          "  halt\n");
+    EXPECT_EQ(err.line, 3u);
+    EXPECT_NE(err.message.find("loop"), std::string::npos) << err.message;
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    const AssemblyError err = expectError("mov.imm r1\n");
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.message.find("operand"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, BadImmediate)
+{
+    const AssemblyError err = expectError("mov.imm r1, 12abc\n");
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.message.find("immediate"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, BadWidthTag)
+{
+    const AssemblyError err = expectError("mov.imm r1, 8\n"
+                                          "v.v.add[24] r2, r3, r4\n");
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_NE(err.message.find("width"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, MalformedLabel)
+{
+    // A label token containing whitespace can never be referenced.
+    const AssemblyError err = expectError("bad label: halt\n");
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.message.find("label"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, OnlyTheFirstErrorIsReported)
+{
+    const AssemblyError err = expectError("bogus1 r1\n"
+                                          "bogus2 r2\n");
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.message.find("bogus1"), std::string::npos)
+        << err.message;
+}
+
+TEST(AssemblerErrors, FacadeThrowsStructuredFailure)
+{
+    Simulation sim(makeSystemConfig(1, 1));
+    try {
+        sim.loadProgram(0, "mov.imm r1, 8\nfrobnicate r1\n");
+        FAIL() << "expected AssemblyFailure";
+    } catch (const AssemblyFailure &e) {
+        EXPECT_EQ(e.kind(), "assembly");
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("frobnicate"),
+                  std::string::npos);
+    }
+    // The facade (and its machine) survives: a corrected program loads
+    // and runs on the same instance.
+    const RunResult r = sim.loadProgram(0, "halt\n").run(1000);
+    EXPECT_TRUE(r.haltedCleanly);
+}
+
+} // namespace
+} // namespace vip

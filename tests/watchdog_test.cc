@@ -5,8 +5,10 @@
  *
  * The warp clamps its target to the cycle where the watchdog would
  * next look (see VipSystem::run), so a machine that stops making
- * progress panics at the same point whether or not dead cycles are
- * being skipped — warped cycles count toward the no-progress window.
+ * progress throws DeadlockError at the same point whether or not dead
+ * cycles are being skipped — warped cycles count toward the
+ * no-progress window. The error carries a human-readable diagnosis of
+ * the stuck machine state and leaves the system object intact.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +17,7 @@
 #include <string>
 
 #include "isa/builder.hh"
+#include "sim/error.hh"
 #include "system/simulation.hh"
 
 namespace vip {
@@ -39,24 +42,51 @@ stalledProgram()
     return b.finish();
 }
 
-TEST(WatchdogDeathTest, FiresUnderFastForward)
+TEST(Watchdog, FiresUnderFastForward)
 {
     SystemConfig cfg = makeSystemConfig(1, 1);
     cfg.fastForward = true;
     cfg.watchdogCycles = 100;
     VipSystem sys(cfg);
     sys.pe(0).loadProgram(stalledProgram());
-    EXPECT_DEATH(sys.run(1'000'000), "deadlocked");
+    try {
+        sys.run(1'000'000);
+        FAIL() << "watchdog did not fire";
+    } catch (const DeadlockError &e) {
+        EXPECT_EQ(e.kind(), "deadlock");
+        EXPECT_NE(e.message().find("deadlocked"), std::string::npos);
+        // The diagnosis names the stuck PE with its PC, stall reason,
+        // and LSQ occupancy.
+        const std::string &d = e.detail();
+        EXPECT_NE(d.find("pe0"), std::string::npos) << d;
+        EXPECT_NE(d.find("stall="), std::string::npos) << d;
+        EXPECT_NE(d.find("lsq="), std::string::npos) << d;
+    }
 }
 
-TEST(WatchdogDeathTest, FiresWithoutFastForward)
+TEST(Watchdog, FiresWithoutFastForward)
 {
     SystemConfig cfg = makeSystemConfig(1, 1);
     cfg.fastForward = false;
     cfg.watchdogCycles = 100;
     VipSystem sys(cfg);
     sys.pe(0).loadProgram(stalledProgram());
-    EXPECT_DEATH(sys.run(1'000'000), "deadlocked");
+    EXPECT_THROW(sys.run(1'000'000), DeadlockError);
+}
+
+TEST(Watchdog, SystemSurvivesTheThrow)
+{
+    // The watchdog reports instead of killing the process; the system
+    // object stays usable, so a caller with a bigger budget (or a
+    // sweep harness moving to the next point) can carry on.
+    SystemConfig cfg = makeSystemConfig(1, 1);
+    cfg.watchdogCycles = 100;
+    VipSystem sys(cfg);
+    sys.pe(0).loadProgram(stalledProgram());
+    EXPECT_THROW(sys.run(1'000'000), DeadlockError);
+    // Same machine, same stall — a follow-up run() must throw again
+    // (not trip the one-thread-per-system assert on a stale flag).
+    EXPECT_THROW(sys.run(1'000'000), DeadlockError);
 }
 
 TEST(Watchdog, GenerousWindowLetsTheStallResolve)

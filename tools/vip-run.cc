@@ -16,10 +16,21 @@
  *                          key order; "-" writes to stdout), plus a
  *                          "host" section with wall-clock timing and
  *                          fast-forward figures
+ *     --inject SPEC        run a fault-injection campaign; SPEC is a
+ *                          comma-separated key=value list, e.g.
+ *                          seed=7,dram-read=1e-7,retention=1e-6,
+ *                          noc-drop=1e-8,noc-corrupt=1e-8,
+ *                          sp-flip=1e-9,ecc=on  (see sim/fault.hh);
+ *                          adds a "faults" section to the JSON
  *     --max-cycles N       simulation budget (default 100M)
  *     --no-fast-forward    tick every cycle instead of warping over
  *                          provably dead ones (same results, slower)
  *     --strict             panic on vector timing hazards
+ *
+ * On a recoverable failure (bad config, assembly error, deadlock) the
+ * runner prints the error to stderr, writes {"error": {...}} to the
+ * --json-stats target when one was given, and exits nonzero — it never
+ * aborts for conditions the input can cause.
  *
  * Example — a dot product of two 8-element vectors staged at 0x1000
  * and 0x1100, result at 0x2000:
@@ -36,6 +47,8 @@
 #include <vector>
 
 #include "isa/assembler.hh"
+#include "sim/error.hh"
+#include "sim/fault.hh"
 #include "system/simulation.hh"
 
 using namespace vip;
@@ -56,9 +69,229 @@ usage()
                  "[--dump-dram A,N]\n"
                  "       [--dump-sp A,N] [--dump-regs] [--stats] "
                  "[--json-stats FILE]\n"
-                 "       [--max-cycles N] [--no-fast-forward] "
-                 "[--strict] [--trace]\n");
+                 "       [--inject SPEC] [--max-cycles N] "
+                 "[--no-fast-forward]\n"
+                 "       [--strict] [--trace]\n");
     return 2;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Write @p body to the --json-stats target ("-" = stdout). */
+bool
+emitJson(const std::string &path, const std::string &body)
+{
+    if (path == "-") {
+        std::cout << body;
+        return true;
+    }
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "vip-run: cannot write %s\n", path.c_str());
+        return false;
+    }
+    os << body;
+    return true;
+}
+
+/** {"error": {kind, message, detail}} for the --json-stats target. */
+std::string
+errorJson(const std::string &kind, const std::string &message,
+          const std::string &detail)
+{
+    std::ostringstream os;
+    os << "{\n  \"error\": {\n"
+       << "    \"kind\": \"" << jsonEscape(kind) << "\",\n"
+       << "    \"message\": \"" << jsonEscape(message) << "\",\n"
+       << "    \"detail\": \"" << jsonEscape(detail) << "\"\n"
+       << "  }\n}\n";
+    return os.str();
+}
+
+struct Options
+{
+    std::string sourcePath;
+    std::string jsonStatsPath;
+    std::vector<std::pair<unsigned, std::uint64_t>> regs;
+    std::vector<std::pair<Addr, std::int16_t>> pokes;
+    std::vector<std::pair<Addr, unsigned>> dumpDram, dumpSp;
+    bool dumpRegs = false, wantStats = false, strict = false;
+    bool trace = false, fastForward = true;
+    std::string injectSpec;
+    Cycles maxCycles = 100'000'000;
+};
+
+int
+run(const Options &opt)
+{
+    std::ifstream in(opt.sourcePath);
+    if (!in) {
+        std::fprintf(stderr, "vip-run: cannot open %s\n",
+                     opt.sourcePath.c_str());
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    // Assemble outside the facade so errors carry the source path.
+    AssemblyError err;
+    auto prog = assemble(ss.str(), &err);
+    if (!err.message.empty()) {
+        std::fprintf(stderr, "%s:%u: error: %s\n",
+                     opt.sourcePath.c_str(), err.line,
+                     err.message.c_str());
+        if (!opt.jsonStatsPath.empty()) {
+            emitJson(opt.jsonStatsPath,
+                     errorJson("assembly",
+                               opt.sourcePath + ":" +
+                                   std::to_string(err.line) + ": " +
+                                   err.message,
+                               ""));
+        }
+        return 1;
+    }
+
+    SystemConfig cfg = makeSystemConfig(1, 1);
+    cfg.pe.strictHazards = opt.strict;
+    cfg.fastForward = opt.fastForward;
+    if (!opt.injectSpec.empty())
+        cfg.faults = FaultPlan::parse(opt.injectSpec);
+    Simulation sim(cfg);
+    for (const auto &[addr, val] : opt.pokes)
+        sim.pokeDram(addr, val);
+    for (const auto &[r, v] : opt.regs)
+        sim.setReg(0, r, v);
+    if (opt.trace) {
+        sim.trace(0, [](Cycles at, std::size_t pc,
+                        const Instruction &inst) {
+            std::printf("%8llu  %4zu: %s\n",
+                        static_cast<unsigned long long>(at), pc,
+                        disassemble(inst).c_str());
+        });
+    }
+    sim.loadProgram(0, std::move(prog));
+
+    const RunResult result = sim.run(opt.maxCycles);
+    std::printf("halted=%d cycles=%llu (%.3f us)\n",
+                result.haltedCleanly,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<double>(result.cycles) * 0.8e-3);
+    if (result.faultInjectionEnabled) {
+        const FaultStats &f = result.faults;
+        std::printf("faults: dram-flips=%llu retention=%llu "
+                    "ecc-corrected=%llu ecc-detected=%llu "
+                    "ecc-silent=%llu noc-dropped=%llu "
+                    "noc-corrupted=%llu sp-flips=%llu\n",
+                    (unsigned long long)f.dramBitFlips,
+                    (unsigned long long)f.retentionErrors,
+                    (unsigned long long)f.eccCorrected,
+                    (unsigned long long)f.eccDetected,
+                    (unsigned long long)f.eccSilent,
+                    (unsigned long long)f.nocDropped,
+                    (unsigned long long)f.nocCorrupted,
+                    (unsigned long long)f.spBitFlips);
+    }
+
+    VipSystem &sys = sim.system();
+    if (opt.dumpRegs) {
+        for (unsigned r = 0; r < kNumScalarRegs; r += 4) {
+            std::printf("r%-2u %16llx  r%-2u %16llx  r%-2u %16llx  "
+                        "r%-2u %16llx\n",
+                        r, (unsigned long long)sys.pe(0).reg(r), r + 1,
+                        (unsigned long long)sys.pe(0).reg(r + 1), r + 2,
+                        (unsigned long long)sys.pe(0).reg(r + 2), r + 3,
+                        (unsigned long long)sys.pe(0).reg(r + 3));
+        }
+    }
+    for (const auto &[addr, count] : opt.dumpSp) {
+        std::printf("sp[0x%llx]:", (unsigned long long)addr);
+        for (unsigned k = 0; k < count; ++k) {
+            std::printf(" %d", sys.pe(0).scratchpad().load<std::int16_t>(
+                                   static_cast<SpAddr>(addr + 2 * k)));
+        }
+        std::printf("\n");
+    }
+    for (const auto &[addr, count] : opt.dumpDram) {
+        std::printf("dram[0x%llx]:", (unsigned long long)addr);
+        for (const std::int16_t v : sim.peekDram(addr, count))
+            std::printf(" %d", v);
+        std::printf("\n");
+    }
+    if (opt.wantStats)
+        std::fputs(result.stats.c_str(), stdout);
+    if (!opt.jsonStatsPath.empty()) {
+        // The "system" section is the simulated statistics tree and is
+        // bit-identical run to run; the "host" section carries the
+        // wall-clock figures, which are not. The "faults" section only
+        // appears when a campaign ran, so uninjected goldens are
+        // untouched.
+        std::ostringstream os;
+        char buf[32];
+        os << "{\n  \"host\": {\n"
+           << "    \"fastForwardedCycles\": "
+           << result.fastForwardedCycles << ",\n";
+        std::snprintf(buf, sizeof(buf), "%.17g", result.hostSeconds);
+        os << "    \"hostSeconds\": " << buf << ",\n";
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      result.simCyclesPerHostSecond);
+        os << "    \"simCyclesPerHostSecond\": " << buf << ",\n"
+           << "    \"memRequestPoolHighWater\": "
+           << result.memRequestPoolHighWater << ",\n"
+           << "    \"peRequestAllocations\": [";
+        for (std::size_t i = 0;
+             i < result.peRequestAllocations.size(); ++i) {
+            os << (i ? ", " : "") << result.peRequestAllocations[i];
+        }
+        os << "]\n  },\n";
+        if (result.faultInjectionEnabled) {
+            const FaultStats &f = result.faults;
+            os << "  \"faults\": {\n"
+               << "    \"plan\": \""
+               << jsonEscape(sim.system().config().faults.toString())
+               << "\",\n"
+               << "    \"dramBitFlips\": " << f.dramBitFlips << ",\n"
+               << "    \"retentionErrors\": " << f.retentionErrors
+               << ",\n"
+               << "    \"eccCorrected\": " << f.eccCorrected << ",\n"
+               << "    \"eccDetected\": " << f.eccDetected << ",\n"
+               << "    \"eccSilent\": " << f.eccSilent << ",\n"
+               << "    \"nocDropped\": " << f.nocDropped << ",\n"
+               << "    \"nocCorrupted\": " << f.nocCorrupted << ",\n"
+               << "    \"nocRetransmits\": " << f.nocRetransmits
+               << ",\n"
+               << "    \"spBitFlips\": " << f.spBitFlips << "\n"
+               << "  },\n";
+        }
+        os << "  \"system\": ";
+        sys.stats().dumpJsonValue(os, 1);
+        os << "\n}\n";
+        if (!emitJson(opt.jsonStatsPath, os.str()))
+            return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -66,15 +299,7 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string source_path;
-    std::string json_stats_path;
-    std::vector<std::pair<unsigned, std::uint64_t>> regs;
-    std::vector<std::pair<Addr, std::int16_t>> pokes;
-    std::vector<std::pair<Addr, unsigned>> dump_dram, dump_sp;
-    bool dump_regs = false, want_stats = false, strict = false;
-    bool trace = false, fast_forward = true;
-    Cycles max_cycles = 100'000'000;
-
+    Options opt;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -86,150 +311,61 @@ main(int argc, char **argv)
         if (arg == "--reg") {
             const std::string v = next();
             const auto eq = v.find('=');
-            regs.emplace_back(std::stoul(v.substr(0, eq)),
-                              parseNum(v.substr(eq + 1)));
+            opt.regs.emplace_back(std::stoul(v.substr(0, eq)),
+                                  parseNum(v.substr(eq + 1)));
         } else if (arg == "--dram") {
             const std::string v = next();
             const auto eq = v.find('=');
-            pokes.emplace_back(parseNum(v.substr(0, eq)),
-                               static_cast<std::int16_t>(std::stol(
-                                   v.substr(eq + 1), nullptr, 0)));
+            opt.pokes.emplace_back(parseNum(v.substr(0, eq)),
+                                   static_cast<std::int16_t>(std::stol(
+                                       v.substr(eq + 1), nullptr, 0)));
         } else if (arg == "--dump-dram" || arg == "--dump-sp") {
             const std::string v = next();
             const auto comma = v.find(',');
-            auto &list = arg == "--dump-dram" ? dump_dram : dump_sp;
+            auto &list = arg == "--dump-dram" ? opt.dumpDram : opt.dumpSp;
             list.emplace_back(parseNum(v.substr(0, comma)),
                               static_cast<unsigned>(
                                   parseNum(v.substr(comma + 1))));
         } else if (arg == "--dump-regs") {
-            dump_regs = true;
+            opt.dumpRegs = true;
         } else if (arg == "--stats") {
-            want_stats = true;
+            opt.wantStats = true;
         } else if (arg == "--json-stats") {
-            json_stats_path = next();
+            opt.jsonStatsPath = next();
+        } else if (arg == "--inject") {
+            opt.injectSpec = next();
         } else if (arg == "--strict") {
-            strict = true;
+            opt.strict = true;
         } else if (arg == "--trace") {
-            trace = true;
+            opt.trace = true;
         } else if (arg == "--max-cycles") {
-            max_cycles = parseNum(next());
+            opt.maxCycles = parseNum(next());
         } else if (arg == "--no-fast-forward") {
-            fast_forward = false;
+            opt.fastForward = false;
         } else if (arg[0] == '-') {
             return usage();
         } else {
-            source_path = arg;
+            opt.sourcePath = arg;
         }
     }
-    if (source_path.empty())
+    if (opt.sourcePath.empty())
         return usage();
 
-    std::ifstream in(source_path);
-    if (!in) {
-        std::fprintf(stderr, "vip-run: cannot open %s\n",
-                     source_path.c_str());
+    try {
+        return run(opt);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "vip-run: error: %s\n", e.what());
+        if (!opt.jsonStatsPath.empty()) {
+            emitJson(opt.jsonStatsPath,
+                     errorJson(e.kind(), e.message(), e.detail()));
+        }
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "vip-run: error: %s\n", e.what());
+        if (!opt.jsonStatsPath.empty()) {
+            emitJson(opt.jsonStatsPath,
+                     errorJson("exception", e.what(), ""));
+        }
         return 1;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-
-    // Assemble outside the facade so errors carry the source path.
-    AssemblyError err;
-    auto prog = assemble(ss.str(), &err);
-    if (!err.message.empty()) {
-        std::fprintf(stderr, "%s:%u: error: %s\n", source_path.c_str(),
-                     err.line, err.message.c_str());
-        return 1;
-    }
-
-    SystemConfig cfg = makeSystemConfig(1, 1);
-    cfg.pe.strictHazards = strict;
-    cfg.fastForward = fast_forward;
-    Simulation sim(cfg);
-    for (const auto &[addr, val] : pokes)
-        sim.pokeDram(addr, val);
-    for (const auto &[r, v] : regs)
-        sim.setReg(0, r, v);
-    if (trace) {
-        sim.trace(0, [](Cycles at, std::size_t pc,
-                        const Instruction &inst) {
-            std::printf("%8llu  %4zu: %s\n",
-                        static_cast<unsigned long long>(at), pc,
-                        disassemble(inst).c_str());
-        });
-    }
-    sim.loadProgram(0, std::move(prog));
-
-    const RunResult result = sim.run(max_cycles);
-    std::printf("halted=%d cycles=%llu (%.3f us)\n",
-                result.haltedCleanly,
-                static_cast<unsigned long long>(result.cycles),
-                static_cast<double>(result.cycles) * 0.8e-3);
-
-    VipSystem &sys = sim.system();
-    if (dump_regs) {
-        for (unsigned r = 0; r < kNumScalarRegs; r += 4) {
-            std::printf("r%-2u %16llx  r%-2u %16llx  r%-2u %16llx  "
-                        "r%-2u %16llx\n",
-                        r, (unsigned long long)sys.pe(0).reg(r), r + 1,
-                        (unsigned long long)sys.pe(0).reg(r + 1), r + 2,
-                        (unsigned long long)sys.pe(0).reg(r + 2), r + 3,
-                        (unsigned long long)sys.pe(0).reg(r + 3));
-        }
-    }
-    for (const auto &[addr, count] : dump_sp) {
-        std::printf("sp[0x%llx]:", (unsigned long long)addr);
-        for (unsigned k = 0; k < count; ++k) {
-            std::printf(" %d", sys.pe(0).scratchpad().load<std::int16_t>(
-                                   static_cast<SpAddr>(addr + 2 * k)));
-        }
-        std::printf("\n");
-    }
-    for (const auto &[addr, count] : dump_dram) {
-        std::printf("dram[0x%llx]:", (unsigned long long)addr);
-        for (const std::int16_t v : sim.peekDram(addr, count))
-            std::printf(" %d", v);
-        std::printf("\n");
-    }
-    if (want_stats)
-        std::fputs(result.stats.c_str(), stdout);
-    if (!json_stats_path.empty()) {
-        // The "system" section is the simulated statistics tree and is
-        // bit-identical run to run; the "host" section carries the
-        // wall-clock figures, which are not.
-        auto emit = [&](std::ostream &os) {
-            char buf[32];
-            os << "{\n  \"host\": {\n"
-               << "    \"fastForwardedCycles\": "
-               << result.fastForwardedCycles << ",\n";
-            std::snprintf(buf, sizeof(buf), "%.17g", result.hostSeconds);
-            os << "    \"hostSeconds\": " << buf << ",\n";
-            std::snprintf(buf, sizeof(buf), "%.17g",
-                          result.simCyclesPerHostSecond);
-            os << "    \"simCyclesPerHostSecond\": " << buf << ",\n"
-               << "    \"memRequestPoolHighWater\": "
-               << result.memRequestPoolHighWater << ",\n"
-               << "    \"peRequestAllocations\": [";
-            for (std::size_t i = 0;
-                 i < result.peRequestAllocations.size(); ++i) {
-                os << (i ? ", " : "") << result.peRequestAllocations[i];
-            }
-            os << "]\n"
-               << "  },\n  \"system\": ";
-            sys.stats().dumpJsonValue(os, 1);
-            os << "\n}\n";
-        };
-        if (json_stats_path == "-") {
-            emit(std::cout);
-        } else {
-            std::ofstream os(json_stats_path);
-            if (!os) {
-                std::fprintf(stderr, "vip-run: cannot write %s\n",
-                             json_stats_path.c_str());
-                return 1;
-            }
-            emit(os);
-        }
-    }
-    return 0;
 }
