@@ -16,6 +16,7 @@
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/sweep.hh"
+#include "tools/cli.hh"
 
 namespace vip {
 
@@ -29,36 +30,27 @@ bool g_fast_forward = true;
 BenchOptions
 parseBenchOptions(int argc, char **argv, double default_frac)
 {
+    constexpr unsigned kFlags = cli::kJobs | cli::kFastForward;
     BenchOptions opts;
     opts.frac = default_frac;
+    cli::CommonOptions common;
     for (int i = 1; i < argc; ++i) {
+        if (cli::consumeCommon(argc, argv, i, kFlags, common))
+            continue;
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--no-fast-forward") == 0) {
-            opts.fastForward = false;
-            g_fast_forward = false;
-        } else if (std::strcmp(arg, "--jobs") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: --jobs needs a count\n",
-                             argv[0]);
-                std::exit(2);
-            }
-            char *end = nullptr;
-            opts.jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], &end, 10));
-            if (end == argv[i] || *end != '\0') {
-                std::fprintf(stderr, "%s: --jobs: '%s' is not a "
-                             "count\n", argv[0], argv[i]);
-                std::exit(2);
-            }
-        } else if (arg[0] != '-' && default_frac > 0) {
+        if (arg[0] != '-' && default_frac > 0) {
             opts.frac = std::atof(arg);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s %s[--jobs N] [--no-fast-forward]\n",
-                         argv[0], default_frac > 0 ? "[FRAC] " : "");
+            std::fprintf(stderr, "usage: %s %s%s\n%s", argv[0],
+                         default_frac > 0 ? "[FRAC] " : "",
+                         cli::commonUsage(kFlags).c_str(),
+                         cli::commonHelp(kFlags).c_str());
             std::exit(2);
         }
     }
+    opts.jobs = common.jobs;
+    opts.fastForward = common.fastForward;
+    g_fast_forward = common.fastForward;
     return opts;
 }
 

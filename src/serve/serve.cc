@@ -1,0 +1,277 @@
+#include "serve/serve.hh"
+
+#include <cstdio>
+
+#include "sim/json.hh"
+
+namespace vip {
+
+namespace {
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+/** Is the line all JSON whitespace (skip it without a response)? */
+bool
+isBlank(const std::string &line)
+{
+    for (const char c : line) {
+        if (c != ' ' && c != '\t' && c != '\r')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+errorResponse(const SimError &e)
+{
+    Json err = Json::object();
+    err.set("kind", e.kind());
+    err.set("message", e.message());
+    err.set("detail", e.detail());
+    Json body = Json::object();
+    body.set("error", std::move(err));
+    return body.str();
+}
+
+VipServer::VipServer(const ServeOptions &opts)
+    : opts_(opts), engine_(opts.jobs), statGroup_("serve"),
+      requests_(&statGroup_, "requests", "request lines received"),
+      cacheHits_(&statGroup_, "cacheHits",
+                 "run requests answered from the result cache"),
+      cacheMisses_(&statGroup_, "cacheMisses",
+                   "run requests that had to simulate"),
+      cacheEvictions_(&statGroup_, "cacheEvictions",
+                      "cached results evicted by the LRU bound"),
+      errors_(&statGroup_, "errors",
+              "requests answered with an error response")
+{}
+
+const std::string *
+VipServer::cacheFind(std::uint64_t key)
+{
+    const auto it = cache_.find(key);
+    if (it == cache_.end())
+        return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+}
+
+void
+VipServer::cacheInsert(std::uint64_t key, std::string response)
+{
+    if (opts_.cacheEntries == 0)
+        return;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        // A concurrent miss on the same key already inserted the
+        // (identical) response; just refresh its position.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    while (cache_.size() >= opts_.cacheEntries) {
+        cache_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++cacheEvictions_;
+    }
+    lru_.emplace_front(key, std::move(response));
+    cache_.emplace(key, lru_.begin());
+}
+
+VipServer::PendingPtr
+VipServer::immediate(std::string response, bool is_error)
+{
+    auto p = std::make_shared<Pending>();
+    p->response = std::move(response);
+    p->done = true;
+    p->isError = is_error;
+    return p;
+}
+
+VipServer::PendingPtr
+VipServer::dispatchRun(const Json &spec_json)
+{
+    const RunSpec spec = RunSpec::fromJson(spec_json);
+    const std::uint64_t key = spec.fingerprint();
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (const std::string *cached = cacheFind(key)) {
+            ++cacheHits_;
+            // Emit the stored bytes verbatim: a hit's response is
+            // byte-identical to the miss that populated it. Whether
+            // a request hit is observable through the stats command,
+            // never through the response body.
+            return immediate(*cached, false);
+        }
+        ++cacheMisses_;
+    }
+
+    auto p = std::make_shared<Pending>();
+    engine_.submit([this, spec, key, p] {
+        std::string response;
+        bool is_error = false;
+        try {
+            const RunResult result = runSpec(spec);
+            Json body = Json::object();
+            body.set("key", hexKey(key));
+            body.set("result", result.toJson());
+            response = body.str();
+        } catch (const SimError &e) {
+            response = errorResponse(e);
+            is_error = true;
+        } catch (const std::exception &e) {
+            response = errorResponse(
+                SimError("exception", e.what()));
+            is_error = true;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!is_error)
+            cacheInsert(key, response);
+        p->response = std::move(response);
+        p->isError = is_error;
+        p->done = true;
+        cv_.notify_all();
+    });
+    return p;
+}
+
+std::string
+VipServer::statsResponse()
+{
+    Json serve = Json::object();
+    statGroup_.visit({
+        [&serve, this](const std::string &path, std::uint64_t value,
+                       const std::string &) {
+            // Strip the "serve." prefix: the section name is the
+            // response's top-level key.
+            serve.set(path.substr(statGroup_.name().size() + 1), value);
+        },
+        nullptr,
+    });
+    serve.set("cacheEntries", cache_.size());
+    serve.set("cacheCapacity", opts_.cacheEntries);
+    serve.set("jobs", engine_.jobs());
+    Json body = Json::object();
+    body.set("serve", std::move(serve));
+    return body.str();
+}
+
+VipServer::PendingPtr
+VipServer::dispatch(const std::string &line, bool *shutdown)
+{
+    try {
+        const Json req = Json::parse(line);
+        if (const Json *spec_json = req.find("run")) {
+            if (req.size() != 1) {
+                throw ConfigError(
+                    "a run request must contain only the \"run\" key");
+            }
+            return dispatchRun(*spec_json);
+        }
+        if (const Json *cmd = req.find("cmd")) {
+            if (req.size() != 1) {
+                throw ConfigError(
+                    "a command request must contain only the \"cmd\" "
+                    "key");
+            }
+            const std::string &name = cmd->asString();
+            if (name == "stats") {
+                // Barrier: in-flight runs must land in the counters
+                // (and the cache) before they are reported.
+                return nullptr;  // handled by caller after drain
+            }
+            if (name == "shutdown") {
+                *shutdown = true;
+                shutdownRequested_ = true;
+                Json body = Json::object();
+                body.set("ok", true);
+                return immediate(body.str(), false);
+            }
+            throw ConfigError("unknown command \"" + name + "\"");
+        }
+        throw ConfigError(
+            "request must be {\"run\": {...}} or {\"cmd\": \"...\"}");
+    } catch (const SimError &e) {
+        return immediate(errorResponse(e), true);
+    } catch (const std::exception &e) {
+        return immediate(errorResponse(SimError("exception", e.what())),
+                         true);
+    }
+}
+
+void
+VipServer::emitReady(std::ostream &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!window_.empty() && window_.front()->done) {
+        const PendingPtr p = window_.front();
+        window_.pop_front();
+        if (p->isError)
+            ++errors_;
+        lock.unlock();
+        out << p->response << '\n' << std::flush;
+        lock.lock();
+    }
+}
+
+void
+VipServer::drain(std::ostream &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!window_.empty()) {
+        const PendingPtr head = window_.front();
+        cv_.wait(lock, [&head] { return head->done; });
+        window_.pop_front();
+        if (head->isError)
+            ++errors_;
+        lock.unlock();
+        out << head->response << '\n' << std::flush;
+        lock.lock();
+    }
+}
+
+void
+VipServer::serve(std::istream &in, std::ostream &out)
+{
+    std::string line;
+    bool shutdown = false;
+    while (!shutdown && std::getline(in, line)) {
+        if (isBlank(line))
+            continue;
+        ++requests_;
+        PendingPtr p = dispatch(line, &shutdown);
+        if (!p) {
+            // Stats command: everything in flight must complete and
+            // be counted first.
+            drain(out);
+            p = immediate(statsResponse(), false);
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            window_.push_back(std::move(p));
+        }
+        emitReady(out);
+        // Bound the pipeline: never more than two batches of work
+        // queued ahead of the slowest outstanding request.
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (window_.size() >= 2 * engine_.jobs() + 1) {
+            const PendingPtr head = window_.front();
+            cv_.wait(lock, [&head] { return head->done; });
+            lock.unlock();
+            emitReady(out);
+            lock.lock();
+        }
+    }
+    drain(out);
+}
+
+} // namespace vip

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The vip-serve daemon loop: simulation as a service.
+ *
+ * A VipServer reads JSON-lines requests from a stream (stdin in
+ * tests and piped use, a unix-socket connection in daemon mode —
+ * tools/vip-serve.cc owns the socket), executes them on a pool of
+ * warm worker threads, and writes exactly one JSON line back per
+ * request line, in request order.
+ *
+ * ## Protocol (one JSON object per line)
+ *
+ * Run request — the object under "run" is a RunSpec
+ * (system/runspec.hh):
+ *
+ *   {"run": {"config": {...}, "programs": [...], "maxCycles": N}}
+ *   -> {"key":"<16 hex>","result":{...}}
+ *
+ * The "result" value is RunResult::toJson(): deterministic, no host
+ * wall-clock fields — so two identical requests produce byte-identical
+ * response lines, and a cache hit emits the stored bytes verbatim.
+ * Whether a request hit the cache is observable only through the
+ * stats command, never through the response body.
+ *
+ * Control requests:
+ *
+ *   {"cmd": "stats"}    -> {"serve": {"cacheEntries": ..., ...}}
+ *   {"cmd": "shutdown"} -> {"ok": true}, then the loop returns
+ *
+ * Failures — a malformed line, an unknown key, a config the
+ * validator rejects, an assembly error, a deadlocked run — come back
+ * as a structured response on the same line slot and the loop keeps
+ * serving (the SimError hierarchy is the contract: nothing a request
+ * can say kills the daemon):
+ *
+ *   {"error": {"kind": "config", "message": "...", "detail": "..."}}
+ *
+ * ## Caching
+ *
+ * Results are content-addressed: the key is
+ * RunSpec::fingerprint() — the repo's FNV-1a hash primitive (the
+ * same scheme DramStorage::fingerprint uses per page) over the
+ * spec's canonical JSON. The simulator is deterministic, so equal
+ * keys mean equal results, and a bounded LRU cache of serialized
+ * responses makes repeated sweep points free. Error responses are
+ * never cached. Hit/miss/eviction counters live in a "serve"
+ * StatGroup reported by the stats command.
+ *
+ * ## Concurrency
+ *
+ * Requests dispatch onto a SweepEngine (one warm Simulation per job,
+ * the sweep determinism contract); responses are reordered back into
+ * request order by a bounded window, so a stream of N requests
+ * pipelines across the pool while the client still sees responses
+ * 1..N in order. With jobs == 1 everything runs inline on the
+ * caller's thread — byte-for-byte deterministic, which is what the
+ * tests pin.
+ */
+
+#ifndef VIP_SERVE_SERVE_HH
+#define VIP_SERVE_SERVE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/stats.hh"
+#include "sim/sweep.hh"
+#include "system/runspec.hh"
+
+namespace vip {
+
+struct ServeOptions
+{
+    /** Worker pool size; 1 (default) runs requests inline, 0 picks
+     *  the host's hardware concurrency. */
+    unsigned jobs = 1;
+
+    /** Result-cache capacity in entries; 0 disables caching. */
+    std::size_t cacheEntries = 256;
+};
+
+class VipServer
+{
+  public:
+    explicit VipServer(const ServeOptions &opts = {});
+
+    /**
+     * Serve until @p in hits EOF or a shutdown request arrives.
+     * Emits exactly one '\n'-terminated JSON response per request
+     * line, in request order, flushing after each. Reentrant per
+     * server: one serve() at a time.
+     */
+    void serve(std::istream &in, std::ostream &out);
+
+    /** The "serve" statistics section. */
+    const StatGroup &stats() const { return statGroup_; }
+
+    /** True once a {"cmd":"shutdown"} request has been served; lets
+     *  a multi-connection transport tell a client disconnect (serve
+     *  again) from a daemon shutdown (stop accepting). */
+    bool shutdownRequested() const { return shutdownRequested_; }
+
+    std::uint64_t requests() const { return requests_.value(); }
+    std::uint64_t cacheHits() const { return cacheHits_.value(); }
+    std::uint64_t cacheMisses() const { return cacheMisses_.value(); }
+    std::uint64_t cacheEvictions() const { return cacheEvictions_.value(); }
+    std::uint64_t errors() const { return errors_.value(); }
+
+  private:
+    /** One request's slot in the in-order response window. */
+    struct Pending
+    {
+        std::string response;
+        bool done = false;
+        bool isError = false;
+    };
+    using PendingPtr = std::shared_ptr<Pending>;
+
+    /** Dispatch one parsed request line; returns the slot to emit. */
+    PendingPtr dispatch(const std::string &line, bool *shutdown);
+
+    /** Schedule a run request (cache lookup or worker execution). */
+    PendingPtr dispatchRun(const Json &spec_json);
+
+    /** A slot completed immediately on the serving thread. */
+    PendingPtr immediate(std::string response, bool is_error);
+
+    std::string statsResponse();
+
+    /** LRU lookup; touches the entry. Null when absent. */
+    const std::string *cacheFind(std::uint64_t key);
+    void cacheInsert(std::uint64_t key, std::string response);
+
+    /** Emit every completed slot at the window head. */
+    void emitReady(std::ostream &out);
+
+    /** Block until the whole window has been emitted. */
+    void drain(std::ostream &out);
+
+    ServeOptions opts_;
+    SweepEngine engine_;
+    bool shutdownRequested_ = false;
+
+    StatGroup statGroup_;
+    Counter requests_;
+    Counter cacheHits_;
+    Counter cacheMisses_;
+    Counter cacheEvictions_;
+    Counter errors_;
+
+    /** Guards window_ and the cache; cv_ signals slot completion. */
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<PendingPtr> window_;
+
+    /** LRU: most-recent at the front; map points into the list. */
+    std::list<std::pair<std::uint64_t, std::string>> lru_;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, std::string>>::iterator>
+        cache_;
+};
+
+/** {"error": {...}} response body for @p e (shared with vip-run). */
+std::string errorResponse(const SimError &e);
+
+} // namespace vip
+
+#endif // VIP_SERVE_SERVE_HH

@@ -1,0 +1,573 @@
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vip {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw JsonError(what);
+}
+
+const char *
+typeName(Json::Type t)
+{
+    switch (t) {
+      case Json::Type::Null: return "null";
+      case Json::Type::Bool: return "bool";
+      case Json::Type::UInt:
+      case Json::Type::Int: return "integer";
+      case Json::Type::Double: return "number";
+      case Json::Type::String: return "string";
+      case Json::Type::Array: return "array";
+      case Json::Type::Object: return "object";
+    }
+    return "?";
+}
+
+void
+escapeString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** One-pass recursive-descent parser over the request line. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    document()
+    {
+        const Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document at offset " +
+                 std::to_string(pos_));
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of JSON input");
+        return text_[pos_];
+    }
+
+    char get() { const char c = peek(); ++pos_; return c; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    void
+    expect(const char *literal)
+    {
+        for (const char *p = literal; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("invalid JSON literal (expected '") +
+                     literal + "')");
+            ++pos_;
+        }
+    }
+
+    Json
+    value()
+    {
+        if (++depth_ > kMaxDepth)
+            fail("JSON nesting deeper than " +
+                 std::to_string(kMaxDepth));
+        skipWs();
+        Json out;
+        switch (peek()) {
+          case '{': out = object(); break;
+          case '[': out = array(); break;
+          case '"': out = Json(string()); break;
+          case 't': expect("true"); out = Json(true); break;
+          case 'f': expect("false"); out = Json(false); break;
+          case 'n': expect("null"); break;
+          default: out = number(); break;
+        }
+        --depth_;
+        return out;
+    }
+
+    Json
+    object()
+    {
+        Json out = Json::object();
+        get();  // '{'
+        skipWs();
+        if (peek() == '}') {
+            get();
+            return out;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected string key in JSON object at offset " +
+                     std::to_string(pos_));
+            std::string key = string();
+            skipWs();
+            if (get() != ':')
+                fail("expected ':' after JSON object key \"" + key +
+                     "\"");
+            out.set(key, value());
+            skipWs();
+            const char c = get();
+            if (c == '}')
+                return out;
+            if (c != ',')
+                fail("expected ',' or '}' in JSON object at offset " +
+                     std::to_string(pos_ - 1));
+        }
+    }
+
+    Json
+    array()
+    {
+        Json out = Json::array();
+        get();  // '['
+        skipWs();
+        if (peek() == ']') {
+            get();
+            return out;
+        }
+        for (;;) {
+            out.push(value());
+            skipWs();
+            const char c = get();
+            if (c == ']')
+                return out;
+            if (c != ',')
+                fail("expected ',' or ']' in JSON array at offset " +
+                     std::to_string(pos_ - 1));
+        }
+    }
+
+    std::string
+    string()
+    {
+        get();  // '"'
+        std::string out;
+        for (;;) {
+            const char c = get();
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = get();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += unicodeEscape(); break;
+              default:
+                fail(std::string("invalid JSON escape '\\") + esc +
+                     "'");
+            }
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned v = 0;
+        for (int k = 0; k < 4; ++k) {
+            const char c = get();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape in JSON string");
+        }
+        return v;
+    }
+
+    std::string
+    unicodeEscape()
+    {
+        unsigned cp = hex4();
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+                fail("unpaired surrogate in JSON string");
+            pos_ += 2;
+            const unsigned lo = hex4();
+            if (lo < 0xdc00 || lo > 0xdfff)
+                fail("unpaired surrogate in JSON string");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate in JSON string");
+        }
+        // UTF-8 encode.
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        return out;
+    }
+
+    Json
+    number()
+    {
+        const std::size_t start = pos_;
+        bool negative = false, integral = true;
+        if (peek() == '-') {
+            negative = true;
+            get();
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fail("invalid JSON number at offset " +
+                 std::to_string(start));
+        errno = 0;
+        if (integral) {
+            char *end = nullptr;
+            if (negative) {
+                const long long v = std::strtoll(tok.c_str(), &end, 10);
+                if (errno == ERANGE)
+                    fail("JSON integer out of range: " + tok);
+                if (end != tok.c_str() + tok.size())
+                    fail("invalid JSON number: " + tok);
+                return Json(static_cast<std::int64_t>(v));
+            }
+            const unsigned long long v =
+                std::strtoull(tok.c_str(), &end, 10);
+            if (errno == ERANGE)
+                fail("JSON integer out of range: " + tok);
+            if (end != tok.c_str() + tok.size())
+                fail("invalid JSON number: " + tok);
+            return Json(static_cast<std::uint64_t>(v));
+        }
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || !std::isfinite(v))
+            fail("invalid JSON number: " + tok);
+        return Json(v);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        fail(std::string("expected bool, got ") + typeName(type_));
+    return bool_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    switch (type_) {
+      case Type::UInt:
+        return uint_;
+      case Type::Int:
+        fail("expected non-negative integer, got " +
+             std::to_string(int_));
+      case Type::Double:
+        if (dbl_ >= 0 && dbl_ <= 1.8446744073709550e19 &&
+            dbl_ == std::floor(dbl_))
+            return static_cast<std::uint64_t>(dbl_);
+        fail("expected non-negative integer, got non-integral number");
+      default:
+        fail(std::string("expected integer, got ") + typeName(type_));
+    }
+}
+
+std::int64_t
+Json::asI64() const
+{
+    switch (type_) {
+      case Type::UInt:
+        if (uint_ > 0x7fffffffffffffffULL)
+            fail("integer out of int64 range: " + std::to_string(uint_));
+        return static_cast<std::int64_t>(uint_);
+      case Type::Int:
+        return int_;
+      case Type::Double:
+        if (dbl_ == std::floor(dbl_) && dbl_ >= -9.2233720368547758e18 &&
+            dbl_ <= 9.2233720368547758e18)
+            return static_cast<std::int64_t>(dbl_);
+        fail("expected integer, got non-integral number");
+      default:
+        fail(std::string("expected integer, got ") + typeName(type_));
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+      case Type::UInt: return static_cast<double>(uint_);
+      case Type::Int: return static_cast<double>(int_);
+      case Type::Double: return dbl_;
+      default:
+        fail(std::string("expected number, got ") + typeName(type_));
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        fail(std::string("expected string, got ") + typeName(type_));
+    return str_;
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    if (type_ != Type::Array)
+        fail(std::string("expected array, got ") + typeName(type_));
+    return arr_;
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    if (type_ != Type::Object)
+        fail(std::string("expected object, got ") + typeName(type_));
+    return obj_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (!v)
+        fail("missing required key \"" + key + "\"");
+    return *v;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        fail(std::string("set() on a ") + typeName(type_));
+    obj_[key] = std::move(value);
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        fail(std::string("push() on a ") + typeName(type_));
+    arr_.push_back(std::move(value));
+    return *this;
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    if (isNumber() && o.isNumber()) {
+        // Integers compare exactly when both sides are integral so
+        // uint64 values beyond 2^53 don't collapse through double.
+        const bool li = type_ != Type::Double;
+        const bool ri = o.type_ != Type::Double;
+        if (li && ri) {
+            if ((type_ == Type::Int) != (o.type_ == Type::Int))
+                return false;
+            return type_ == Type::Int ? int_ == o.int_
+                                      : uint_ == o.uint_;
+        }
+        return asDouble() == o.asDouble();
+    }
+    if (type_ != o.type_)
+        return false;
+    switch (type_) {
+      case Type::Null: return true;
+      case Type::Bool: return bool_ == o.bool_;
+      case Type::String: return str_ == o.str_;
+      case Type::Array: return arr_ == o.arr_;
+      case Type::Object: return obj_ == o.obj_;
+      default: return true;  // numbers handled above
+    }
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        return;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        return;
+      case Type::UInt:
+        os << uint_;
+        return;
+      case Type::Int:
+        os << int_;
+        return;
+      case Type::Double: {
+        if (!std::isfinite(dbl_)) {
+            os << "null";  // JSON has no NaN/Inf
+            return;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", dbl_);
+        os << buf;
+        return;
+      }
+      case Type::String:
+        escapeString(os, str_);
+        return;
+      case Type::Array: {
+        if (arr_.empty()) {
+            os << "[]";
+            return;
+        }
+        const bool pretty = indent >= 0;
+        const std::string pad(pretty ? (indent + 1) * 2 : 0, ' ');
+        os << '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << ',';
+            if (pretty)
+                os << '\n' << pad;
+            arr_[i].dump(os, pretty ? indent + 1 : -1);
+        }
+        if (pretty)
+            os << '\n' << std::string(indent * 2, ' ');
+        os << ']';
+        return;
+      }
+      case Type::Object: {
+        if (obj_.empty()) {
+            os << "{}";
+            return;
+        }
+        const bool pretty = indent >= 0;
+        const std::string pad(pretty ? (indent + 1) * 2 : 0, ' ');
+        os << '{';
+        bool first = true;
+        for (const auto &[key, val] : obj_) {
+            if (!first)
+                os << ',';
+            first = false;
+            if (pretty)
+                os << '\n' << pad;
+            escapeString(os, key);
+            os << (pretty ? ": " : ":");
+            val.dump(os, pretty ? indent + 1 : -1);
+        }
+        if (pretty)
+            os << '\n' << std::string(indent * 2, ' ');
+        os << '}';
+        return;
+      }
+    }
+}
+
+std::string
+Json::str(int indent) const
+{
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+}
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace vip

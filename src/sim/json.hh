@@ -1,0 +1,193 @@
+/**
+ * @file
+ * A minimal JSON value type for the simulator's wire formats.
+ *
+ * The serve protocol, `RunSpec`, and `SystemConfig` all need to
+ * round-trip structured data through text, and the container bakes in
+ * no JSON dependency — so this is a deliberately small, deterministic
+ * implementation:
+ *
+ *  - **Deterministic emission.** Object keys are stored in a std::map
+ *    and always emitted sorted; integers print in decimal and doubles
+ *    through "%.17g" (shortest round-trippable form gcc produces).
+ *    Two equal values therefore serialize to identical bytes — the
+ *    property the serve result cache's byte-identical-response
+ *    guarantee and `RunSpec::fingerprint()` stand on.
+ *  - **64-bit-clean numbers.** JSON numbers without a fraction or
+ *    exponent parse as unsigned/signed 64-bit integers, not doubles,
+ *    so a register value like 0xffffffffffffffff survives the trip.
+ *  - **Structured failure.** Parse errors and type mismatches throw
+ *    JsonError (a SimError with kind "json"), so the serve loop turns
+ *    a malformed request line into an `{"error": ...}` response the
+ *    same way it handles a bad config.
+ *
+ * Not supported (not needed here): duplicate object keys (last one
+ * wins), non-BMP \u escapes beyond surrogate pairs, numbers outside
+ * the uint64/int64/double ranges.
+ */
+
+#ifndef VIP_SIM_JSON_HH
+#define VIP_SIM_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/error.hh"
+
+namespace vip {
+
+/** Malformed JSON text or a type/shape mismatch during decode. */
+class JsonError : public SimError
+{
+  public:
+    explicit JsonError(std::string message)
+        : SimError("json", std::move(message))
+    {}
+};
+
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        UInt,   ///< non-negative integer (uint64 range)
+        Int,    ///< negative integer (int64 range)
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(std::uint64_t v) : type_(Type::UInt), uint_(v) {}
+    Json(std::int64_t v)
+    {
+        if (v < 0) {
+            type_ = Type::Int;
+            int_ = v;
+        } else {
+            type_ = Type::UInt;
+            uint_ = static_cast<std::uint64_t>(v);
+        }
+    }
+    Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+    Json(unsigned v) : Json(static_cast<std::uint64_t>(v)) {}
+    Json(unsigned long long v) : Json(static_cast<std::uint64_t>(v)) {}
+    Json(double v) : type_(Type::Double), dbl_(v) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+
+    static Json
+    array()
+    {
+        Json j;
+        j.type_ = Type::Array;
+        return j;
+    }
+
+    static Json
+    object()
+    {
+        Json j;
+        j.type_ = Type::Object;
+        return j;
+    }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool
+    isNumber() const
+    {
+        return type_ == Type::UInt || type_ == Type::Int ||
+               type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; throw JsonError on a mismatch (integral
+     *  doubles are accepted by the integer accessors and vice versa,
+     *  so "1.0" and "1" decode interchangeably). */
+    bool asBool() const;
+    std::uint64_t asU64() const;
+    std::int64_t asI64() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object lookup; null when absent (or not an object). */
+    const Json *find(const std::string &key) const;
+
+    /** Object lookup; throws JsonError when the key is absent. */
+    const Json &at(const std::string &key) const;
+
+    /** Object insert/overwrite; converts a Null value to an Object. */
+    Json &set(const std::string &key, Json value);
+
+    /** Array append; converts a Null value to an Array. */
+    Json &push(Json value);
+
+    std::size_t
+    size() const
+    {
+        return isArray() ? arr_.size() : isObject() ? obj_.size() : 0;
+    }
+
+    bool operator==(const Json &o) const;
+    bool operator!=(const Json &o) const { return !(*this == o); }
+
+    /**
+     * Serialize. @p indent < 0 emits the compact single-line form
+     * (the wire format: JSON-lines requires no embedded newlines);
+     * @p indent >= 0 pretty-prints with 2-space indentation starting
+     * at that depth. Keys always emit in sorted order.
+     */
+    void dump(std::ostream &os, int indent = -1) const;
+
+    /** dump() into a string. */
+    std::string str(int indent = -1) const;
+
+    /** Parse one JSON document; trailing garbage throws JsonError. */
+    static Json parse(const std::string &text);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    std::int64_t int_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/** FNV-1a over @p text, the repo's standard content-hash primitive
+ *  (the same scheme DramStorage::fingerprint applies per page). */
+inline std::uint64_t
+fnv1a(const std::string &text, std::uint64_t seed = 0xcbf29ce484222325ULL)
+{
+    std::uint64_t h = seed;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace vip
+
+#endif // VIP_SIM_JSON_HH

@@ -155,6 +155,54 @@ StatGroup::dumpJsonImpl(std::ostream &os, unsigned depth) const
     os << "}";
 }
 
+void
+StatGroup::visit(const Visitor &v) const
+{
+    visitImpl(v, "");
+}
+
+void
+StatGroup::visitImpl(const Visitor &v, const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    if (v.onCounter) {
+        for (const auto *c : counters_)
+            v.onCounter(base + "." + c->name(), c->value(), c->desc());
+    }
+    if (v.onFormula) {
+        for (const auto &f : formulas_)
+            v.onFormula(base + "." + f.name, f.fn(), f.desc);
+    }
+    for (const auto *g : children_)
+        g->visitImpl(v, base);
+}
+
+const Counter *
+StatGroup::findCounterByPath(const std::string &dotted) const
+{
+    const StatGroup *group = this;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t dot = dotted.find('.', start);
+        const std::string seg = dotted.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        if (dot == std::string::npos)
+            return group->findCounter(seg);
+        const StatGroup *next = nullptr;
+        for (const auto *g : group->children_) {
+            if (g->name() == seg) {
+                next = g;
+                break;
+            }
+        }
+        if (!next)
+            return nullptr;
+        group = next;
+        start = dot + 1;
+    }
+}
+
 const Counter *
 StatGroup::findCounter(const std::string &name) const
 {

@@ -94,6 +94,32 @@ class StatGroup
         dumpJsonImpl(os, depth);
     }
 
+    /**
+     * Walk the whole subtree in dump order, reporting every counter
+     * and formula under its dotted path rooted at this group's name
+     * (e.g. "system.pe0.issued"). This is the programmatic face of
+     * the statistics tree: RunResult's typed counter map, the serve
+     * protocol's stats section, and tests that used to grep the text
+     * dump all read through it. Either callback may be empty.
+     */
+    struct Visitor
+    {
+        std::function<void(const std::string &path,
+                           std::uint64_t value,
+                           const std::string &desc)> onCounter;
+        std::function<void(const std::string &path, double value,
+                           const std::string &desc)> onFormula;
+    };
+    void visit(const Visitor &v) const;
+
+    /**
+     * Typed lookup by dotted path relative to this group (the leading
+     * group name is *not* part of the path: on the system root,
+     * "pe0.issued", not "system.pe0.issued"). Null when any segment
+     * is missing.
+     */
+    const Counter *findCounterByPath(const std::string &dotted) const;
+
     /** Find a counter by name within this group only; null if absent. */
     const Counter *findCounter(const std::string &name) const;
 
@@ -112,6 +138,7 @@ class StatGroup
 
     void dumpImpl(std::ostream &os, const std::string &prefix) const;
     void dumpJsonImpl(std::ostream &os, unsigned depth) const;
+    void visitImpl(const Visitor &v, const std::string &prefix) const;
 
     std::string name_;
     std::vector<Counter *> counters_;

@@ -1,0 +1,143 @@
+#include "system/runspec.hh"
+
+#include <utility>
+
+#include "sim/json.hh"
+
+namespace vip {
+
+namespace {
+
+/** Reject keys outside @p allowed, naming the path (the RunSpec
+ *  analogue of config_json.cc's StrictObject, for flat objects). */
+void
+rejectUnknown(const Json &j, const std::string &path,
+              std::initializer_list<const char *> allowed)
+{
+    for (const auto &[key, value] : j.asObject()) {
+        bool known = false;
+        for (const char *a : allowed) {
+            if (key == a) {
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            throw ConfigError("unknown key \"" + path + key + "\"");
+    }
+}
+
+} // namespace
+
+Json
+RunSpec::toJson() const
+{
+    Json j = Json::object();
+    j.set("config", config.toJson());
+    Json progs = Json::array();
+    for (const Program &p : programs) {
+        Json pj = Json::object();
+        pj.set("pe", p.pe);
+        pj.set("source", p.source);
+        progs.push(std::move(pj));
+    }
+    j.set("programs", std::move(progs));
+    Json pokesj = Json::array();
+    for (const DramPoke &p : pokes) {
+        Json pj = Json::object();
+        pj.set("addr", static_cast<std::uint64_t>(p.addr));
+        Json values = Json::array();
+        for (const std::int16_t v : p.values)
+            values.push(static_cast<std::int64_t>(v));
+        pj.set("values", std::move(values));
+        pokesj.push(std::move(pj));
+    }
+    j.set("pokes", std::move(pokesj));
+    Json regsj = Json::array();
+    for (const RegSet &r : regs) {
+        Json rj = Json::object();
+        rj.set("pe", r.pe);
+        rj.set("reg", r.reg);
+        rj.set("value", r.value);
+        regsj.push(std::move(rj));
+    }
+    j.set("regs", std::move(regsj));
+    j.set("maxCycles", static_cast<std::uint64_t>(maxCycles));
+    return j;
+}
+
+RunSpec
+RunSpec::fromJson(const Json &j)
+{
+    RunSpec spec;
+    rejectUnknown(j, "",
+                  {"config", "programs", "pokes", "regs", "maxCycles"});
+    if (const Json *c = j.find("config"))
+        spec.config = SystemConfig::fromJson(*c);
+    if (const Json *progs = j.find("programs")) {
+        for (const Json &pj : progs->asArray()) {
+            rejectUnknown(pj, "programs[].", {"pe", "source"});
+            Program p;
+            p.pe = static_cast<unsigned>(pj.at("pe").asU64());
+            p.source = pj.at("source").asString();
+            spec.programs.push_back(std::move(p));
+        }
+    }
+    if (const Json *pokes = j.find("pokes")) {
+        for (const Json &pj : pokes->asArray()) {
+            rejectUnknown(pj, "pokes[].", {"addr", "values"});
+            DramPoke p;
+            p.addr = static_cast<Addr>(pj.at("addr").asU64());
+            for (const Json &v : pj.at("values").asArray()) {
+                const std::int64_t val = v.asI64();
+                if (val < -32768 || val > 32767) {
+                    throw ConfigError(
+                        "pokes[].values: " + std::to_string(val) +
+                        " does not fit in a 16-bit DRAM word");
+                }
+                p.values.push_back(static_cast<std::int16_t>(val));
+            }
+            spec.pokes.push_back(std::move(p));
+        }
+    }
+    if (const Json *regs = j.find("regs")) {
+        for (const Json &rj : regs->asArray()) {
+            rejectUnknown(rj, "regs[].", {"pe", "reg", "value"});
+            RegSet r;
+            r.pe = static_cast<unsigned>(rj.at("pe").asU64());
+            r.reg = static_cast<unsigned>(rj.at("reg").asU64());
+            r.value = rj.at("value").asU64();
+            spec.regs.push_back(r);
+        }
+    }
+    if (const Json *mc = j.find("maxCycles"))
+        spec.maxCycles = static_cast<Cycles>(mc->asU64());
+    return spec;
+}
+
+std::uint64_t
+RunSpec::fingerprint() const
+{
+    return fnv1a(toJson().str());
+}
+
+std::unique_ptr<Simulation>
+buildSimulation(const RunSpec &spec)
+{
+    auto sim = std::make_unique<Simulation>(spec.config);
+    for (const RunSpec::DramPoke &p : spec.pokes)
+        sim->pokeDram(p.addr, p.values);
+    for (const RunSpec::RegSet &r : spec.regs)
+        sim->setReg(r.pe, r.reg, r.value);
+    for (const RunSpec::Program &p : spec.programs)
+        sim->loadProgram(p.pe, p.source);
+    return sim;
+}
+
+RunResult
+runSpec(const RunSpec &spec)
+{
+    return buildSimulation(spec)->run(spec.maxCycles);
+}
+
+} // namespace vip

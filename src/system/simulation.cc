@@ -6,6 +6,7 @@
 
 #include "isa/assembler.hh"
 #include "sim/error.hh"
+#include "sim/json.hh"
 
 namespace vip {
 
@@ -51,7 +52,54 @@ Simulation::run(Cycles max_cycles)
     std::ostringstream os;
     sys_.stats().dump(os);
     result.stats = os.str();
+    sys_.stats().visit({
+        [&result](const std::string &path, std::uint64_t value,
+                  const std::string &) {
+            result.counters[path] = value;
+        },
+        [&result](const std::string &path, double value,
+                  const std::string &) {
+            result.formulas[path] = value;
+        },
+    });
     return result;
+}
+
+Json
+RunResult::toJson() const
+{
+    Json j = Json::object();
+    j.set("cycles", static_cast<std::uint64_t>(cycles));
+    j.set("haltedCleanly", haltedCleanly);
+    j.set("fastForwardedCycles",
+          static_cast<std::uint64_t>(fastForwardedCycles));
+    j.set("memRequestPoolHighWater", memRequestPoolHighWater);
+    Json allocs = Json::array();
+    for (const std::uint64_t a : peRequestAllocations)
+        allocs.push(a);
+    j.set("peRequestAllocations", std::move(allocs));
+    Json cj = Json::object();
+    for (const auto &[path, value] : counters)
+        cj.set(path, value);
+    j.set("counters", std::move(cj));
+    Json fj = Json::object();
+    for (const auto &[path, value] : formulas)
+        fj.set(path, value);
+    j.set("formulas", std::move(fj));
+    if (faultInjectionEnabled) {
+        Json f = Json::object();
+        f.set("dramBitFlips", faults.dramBitFlips);
+        f.set("retentionErrors", faults.retentionErrors);
+        f.set("eccCorrected", faults.eccCorrected);
+        f.set("eccDetected", faults.eccDetected);
+        f.set("eccSilent", faults.eccSilent);
+        f.set("nocDropped", faults.nocDropped);
+        f.set("nocCorrupted", faults.nocCorrupted);
+        f.set("nocRetransmits", faults.nocRetransmits);
+        f.set("spBitFlips", faults.spBitFlips);
+        j.set("faults", std::move(f));
+    }
+    return j;
 }
 
 std::vector<std::int16_t>

@@ -22,27 +22,40 @@
 #ifndef VIP_SYSTEM_SIMULATION_HH
 #define VIP_SYSTEM_SIMULATION_HH
 
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/error.hh"
 #include "system/system.hh"
 
 namespace vip {
 
-/** NoC grid dimensions used for a given vault count. */
+class Json;
+
+/**
+ * NoC grid dimensions used for a given vault count: the most-square
+ * power-of-two factorization (32 -> 8x4, 16 -> 4x4, 64 -> 8x8).
+ * Throws ConfigError for non-power-of-two counts — the address
+ * mapper cannot split vault index bits out of such an address, so
+ * the old silent `{vaults, 1}` fallback only deferred the failure to
+ * a less helpful place.
+ */
 inline std::pair<unsigned, unsigned>
 nocDimsFor(unsigned vaults)
 {
-    switch (vaults) {
-      case 1: return {1, 1};
-      case 2: return {2, 1};
-      case 4: return {2, 2};
-      case 8: return {4, 2};
-      case 16: return {4, 4};
-      case 32: return {8, 4};
-      default: return {vaults, 1};
+    if (vaults == 0 || (vaults & (vaults - 1)) != 0) {
+        throw ConfigError(
+            "vaults = " + std::to_string(vaults) +
+            "; the NoC grid (and the address mapper's vault index "
+            "bits) requires a nonzero power-of-two vault count");
     }
+    unsigned log2 = 0;
+    while ((1u << log2) < vaults)
+        ++log2;
+    const unsigned x = 1u << ((log2 + 1) / 2);
+    return {x, vaults / x};
 }
 
 /**
@@ -69,8 +82,22 @@ struct RunResult
     /** Every PE halted and the machine drained (not a budget stop). */
     bool haltedCleanly = false;
 
-    /** Text dump of the system's statistics tree at run end. */
+    /**
+     * Debug-only text dump of the statistics tree at run end, for
+     * humans reading a terminal. Programs must read `counters` /
+     * `formulas` (or toJson()) instead of parsing this: the text
+     * format is not stable and parsing it is deprecated.
+     */
     std::string stats;
+
+    /** Every counter in the statistics tree, keyed by dotted path
+     *  ("system.pe0.issued", ...). The typed face of `stats`. */
+    std::map<std::string, std::uint64_t> counters;
+
+    /** Every derived statistic (rates, bandwidth formulas), keyed by
+     *  dotted path. Deterministic: formulas only combine counters and
+     *  simulated time, never host wall-clock. */
+    std::map<std::string, double> formulas;
 
     /** Host wall-clock seconds this run() call took. */
     double hostSeconds = 0.0;
@@ -98,6 +125,24 @@ struct RunResult
     FaultStats faults;
 
     double ms() const { return cyclesToMs(cycles); }
+
+    /** Value of one counter by dotted path; 0 when absent. */
+    std::uint64_t
+    counter(const std::string &path) const
+    {
+        const auto it = counters.find(path);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /**
+     * The structured result: cycles, halt state, the typed counter
+     * and formula maps, and the fault section when injection ran.
+     * Deliberately excludes host wall-clock timing (hostSeconds,
+     * simCyclesPerHostSecond) so the JSON of two identical runs is
+     * byte-identical — the property the serve result cache serves
+     * repeated requests on.
+     */
+    Json toJson() const;
 };
 
 /**

@@ -28,6 +28,8 @@
 
 namespace vip {
 
+class Json;
+
 /** Full-machine configuration (defaults = the paper's system). */
 struct SystemConfig
 {
@@ -52,6 +54,26 @@ struct SystemConfig
 
     /** Fault-injection campaign; disabled (and costless) by default. */
     FaultPlan faults;
+
+    /**
+     * The wire form: every knob above as a JSON object (nested
+     * "mem"/"pe" sections mirroring the struct layout; the fault
+     * plan as its canonical spec string under "faults", omitted when
+     * injection is disabled). fromJson(toJson(cfg)) reproduces the
+     * config exactly.
+     */
+    Json toJson() const;
+
+    /**
+     * Decode a config, starting from defaults: absent keys keep their
+     * default, so a request only has to name what it changes. When
+     * "mem.geom.vaults" is given without "nocX"/"nocY" the NoC grid
+     * is derived with nocDimsFor(). Unknown keys anywhere in the
+     * object throw ConfigError naming the offending key — a typo'd
+     * knob must not silently fall back to the default. Does not
+     * validate the result; VipSystem's constructor does.
+     */
+    static SystemConfig fromJson(const Json &j);
 };
 
 /**

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the vip-serve request/response surface: RunSpec JSON
+ * round-trips, SystemConfig strict decoding, and the VipServer loop
+ * driven over string streams exactly the way vip-serve drives it
+ * over stdin — cache hits must be byte-identical, failures must come
+ * back structured without killing the loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/serve.hh"
+#include "sim/json.hh"
+#include "system/runspec.hh"
+
+namespace vip {
+namespace {
+
+/// The same dot product simulation_test pins, so serve responses
+/// carry real counters and a nontrivial DRAM result.
+const char *kDotProduct = R"(
+    mov.imm r1, 8
+    set.vl r1
+    mov.imm r2, 1
+    set.mr r2
+    mov.imm r10, 0x1000
+    mov.imm r11, 0x1100
+    mov.imm r12, 0x2000
+    mov.imm r20, 0
+    mov.imm r21, 64
+    mov.imm r22, 128
+    ld.sram[16] r20, r10, r1
+    ld.sram[16] r21, r11, r1
+    m.v.mul.add[16] r22, r20, r21
+    v.drain
+    st.sram[16] r22, r12, r2
+    memfence
+    halt
+)";
+
+RunSpec
+dotSpec()
+{
+    RunSpec spec;
+    spec.config = makeSystemConfig(2, 2);
+    spec.programs.push_back({0, kDotProduct});
+    spec.pokes.push_back({0x1000, {2, 3, 5, 7, 11, 13, 17, 19}});
+    spec.pokes.push_back({0x1100, {1, 2, 3, 4, 5, 6, 7, 8}});
+    spec.maxCycles = 200'000;
+    return spec;
+}
+
+/// Split serve() output into its '\n'-terminated response lines.
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        out.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return out;
+}
+
+/// Run one request stream through a fresh inline server.
+std::vector<std::string>
+serveLines(const std::string &requests, const ServeOptions &opts = {})
+{
+    VipServer server(opts);
+    std::istringstream in(requests);
+    std::ostringstream out;
+    server.serve(in, out);
+    return lines(out.str());
+}
+
+TEST(RunSpec, JsonRoundTripIsLossless)
+{
+    RunSpec spec = dotSpec();
+    spec.config.fastForward = false;
+    spec.config.pe.strictHazards = true;
+    spec.regs.push_back({0, 3, 0x1234});
+
+    const std::string text = spec.toJson().str();
+    const RunSpec back = RunSpec::fromJson(Json::parse(text));
+
+    EXPECT_TRUE(back == spec);
+    EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+    EXPECT_EQ(back.toJson().str(), text);
+    // And the round-tripped spec simulates identically.
+    EXPECT_EQ(runSpec(back).toJson().str(),
+              runSpec(spec).toJson().str());
+}
+
+TEST(RunSpec, RoundTripSurvivesPerturbedSpecs)
+{
+    // Property-style sweep: vary every field group and require
+    // fromJson(toJson(s)) == s with an equal fingerprint.
+    for (unsigned i = 0; i < 8; ++i) {
+        RunSpec spec;
+        spec.config = makeSystemConfig(1u << (i % 4), 1 + i % 3);
+        spec.config.watchdogCycles = 1000 * (i + 1);
+        spec.config.fastForward = (i % 2) == 0;
+        spec.maxCycles = 1000 + 17 * i;
+        spec.programs.push_back({i % 2, "halt\n"});
+        spec.pokes.push_back(
+            {0x100 * (i + 1),
+             {static_cast<std::int16_t>(i), -32768, 32767}});
+        spec.regs.push_back({0, i % 8, 0xdeadbeef00ull + i});
+
+        const RunSpec back =
+            RunSpec::fromJson(Json::parse(spec.toJson().str()));
+        EXPECT_TRUE(back == spec) << "spec " << i;
+        EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+    }
+}
+
+TEST(RunSpec, FromJsonRejectsUnknownAndMalformedFields)
+{
+    EXPECT_THROW(RunSpec::fromJson(Json::parse("{\"bogus\": 1}")),
+                 ConfigError);
+    // A poke value outside int16 range must be rejected, not wrapped.
+    EXPECT_THROW(
+        RunSpec::fromJson(Json::parse(
+            "{\"pokes\": [{\"addr\": 0, \"values\": [70000]}]}")),
+        ConfigError);
+}
+
+TEST(SystemConfig, JsonRoundTripIsLossless)
+{
+    SystemConfig cfg = makeSystemConfig(8, 4);
+    cfg.mem.timing.tCL = 13;
+    cfg.mem.pagePolicy = PagePolicy::Closed;
+    cfg.pe.lsqEntries = 12;
+    cfg.watchdogCycles = 123456;
+    cfg.fastForward = false;
+
+    const SystemConfig back =
+        SystemConfig::fromJson(Json::parse(cfg.toJson().str()));
+    EXPECT_EQ(back.toJson().str(), cfg.toJson().str());
+    EXPECT_EQ(back.mem.timing.tCL, 13u);
+    EXPECT_EQ(back.mem.pagePolicy, PagePolicy::Closed);
+    EXPECT_EQ(back.pe.lsqEntries, 12u);
+    EXPECT_FALSE(back.fastForward);
+}
+
+TEST(SystemConfig, FromJsonRejectsUnknownKeysWithPath)
+{
+    try {
+        SystemConfig::fromJson(
+            Json::parse("{\"mem\": {\"timing\": {\"tCLL\": 9}}}"));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("mem.timing.tCLL"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SystemConfig, FromJsonDerivesNocGridFromVaults)
+{
+    const SystemConfig cfg = SystemConfig::fromJson(
+        Json::parse("{\"mem\": {\"geom\": {\"vaults\": 16}}}"));
+    EXPECT_EQ(cfg.nocX, 4u);
+    EXPECT_EQ(cfg.nocY, 4u);
+    EXPECT_THROW(SystemConfig::fromJson(Json::parse(
+                     "{\"mem\": {\"geom\": {\"vaults\": 6}}}")),
+                 ConfigError);
+}
+
+TEST(VipServer, CacheHitIsByteIdenticalAndCounted)
+{
+    Json req = Json::object();
+    req.set("run", dotSpec().toJson());
+    const std::string line = req.str();
+
+    VipServer server;
+    std::istringstream in(line + "\n" + line + "\n" +
+                          "{\"cmd\": \"stats\"}\n");
+    std::ostringstream out;
+    server.serve(in, out);
+
+    const std::vector<std::string> rsp = lines(out.str());
+    ASSERT_EQ(rsp.size(), 3u);
+    // The hit re-emits the stored bytes: identical, and nothing in
+    // the body says it was a hit.
+    EXPECT_EQ(rsp[0], rsp[1]);
+    EXPECT_EQ(rsp[0].find("cached"), std::string::npos);
+
+    const Json body = Json::parse(rsp[0]);
+    EXPECT_EQ(body.at("key").asString().size(), 16u);
+    EXPECT_TRUE(body.at("result").at("haltedCleanly").asBool());
+    EXPECT_GT(body.at("result").at("cycles").asU64(), 0u);
+
+    EXPECT_EQ(server.requests(), 3u);
+    EXPECT_EQ(server.cacheMisses(), 1u);
+    EXPECT_EQ(server.cacheHits(), 1u);
+    EXPECT_EQ(server.errors(), 0u);
+
+    const Json stats = Json::parse(rsp[2]);
+    EXPECT_EQ(stats.at("serve").at("cacheHits").asU64(), 1u);
+    EXPECT_EQ(stats.at("serve").at("cacheMisses").asU64(), 1u);
+    EXPECT_EQ(stats.at("serve").at("cacheEntries").asU64(), 1u);
+}
+
+TEST(VipServer, MalformedRequestsGetErrorsAndLoopSurvives)
+{
+    Json req = Json::object();
+    req.set("run", dotSpec().toJson());
+
+    // Config rejection: unknown key inside the run's config.
+    Json bad_spec = Json::parse("{\"config\": {\"wombats\": 3}}");
+    Json bad_req = Json::object();
+    bad_req.set("run", std::move(bad_spec));
+
+    const std::string requests =
+        "this is not json\n" +        // parse failure
+        bad_req.str() + "\n" +        // ConfigError
+        std::string("{\"cmd\": \"no-such-command\"}\n") +
+        req.str() + "\n";             // still served after all that
+
+    VipServer server;
+    std::istringstream in(requests);
+    std::ostringstream out;
+    server.serve(in, out);
+
+    const std::vector<std::string> rsp = lines(out.str());
+    ASSERT_EQ(rsp.size(), 4u);
+    EXPECT_EQ(Json::parse(rsp[0]).at("error").at("kind").asString(),
+              "json");
+    EXPECT_EQ(Json::parse(rsp[1]).at("error").at("kind").asString(),
+              "config");
+    EXPECT_NE(Json::parse(rsp[1])
+                  .at("error")
+                  .at("message")
+                  .asString()
+                  .find("wombats"),
+              std::string::npos);
+    EXPECT_EQ(Json::parse(rsp[2]).at("error").at("kind").asString(),
+              "config");
+    // The loop survived and the valid request still ran.
+    EXPECT_TRUE(Json::parse(rsp[3])
+                    .at("result")
+                    .at("haltedCleanly")
+                    .asBool());
+    EXPECT_EQ(server.errors(), 3u);
+    EXPECT_EQ(server.cacheMisses(), 1u);
+}
+
+TEST(VipServer, AssemblyAndDeadlockFailuresAreStructured)
+{
+    RunSpec bad_asm = dotSpec();
+    bad_asm.programs[0].source = "not_an_instruction r1, r2\n";
+    Json asm_req = Json::object();
+    asm_req.set("run", bad_asm.toJson());
+
+    RunSpec spin;
+    spin.config = makeSystemConfig(1, 1);
+    spin.config.watchdogCycles = 2000;
+    spin.programs.push_back({0, "spin:\n    jmp spin\n"});
+    spin.maxCycles = 1'000'000;
+    Json spin_req = Json::object();
+    spin_req.set("run", spin.toJson());
+
+    const std::vector<std::string> rsp =
+        serveLines(asm_req.str() + "\n" + spin_req.str() + "\n");
+    ASSERT_EQ(rsp.size(), 2u);
+    EXPECT_EQ(Json::parse(rsp[0]).at("error").at("kind").asString(),
+              "assembly");
+    // The spinning program either deadlocks (watchdog) or exhausts
+    // its budget; both must come back as a normal response, not kill
+    // the server. A budget exhaustion is a clean non-halted result.
+    const Json second = Json::parse(rsp[1]);
+    if (const Json *err = second.find("error")) {
+        EXPECT_EQ(err->at("kind").asString(), "deadlock");
+    } else {
+        EXPECT_FALSE(second.at("result").at("haltedCleanly").asBool());
+    }
+}
+
+TEST(VipServer, LruEvictsAndCountsWhenBounded)
+{
+    ServeOptions opts;
+    opts.cacheEntries = 1;
+    VipServer server(opts);
+
+    RunSpec a = dotSpec();
+    RunSpec b = dotSpec();
+    b.maxCycles += 1;  // distinct fingerprint
+    Json ra = Json::object();
+    ra.set("run", a.toJson());
+    Json rb = Json::object();
+    rb.set("run", b.toJson());
+
+    std::istringstream in(ra.str() + "\n" + rb.str() + "\n" +
+                          ra.str() + "\n");
+    std::ostringstream out;
+    server.serve(in, out);
+
+    ASSERT_EQ(lines(out.str()).size(), 3u);
+    EXPECT_EQ(server.cacheMisses(), 3u);  // a evicted by b, re-ran
+    EXPECT_EQ(server.cacheHits(), 0u);
+    EXPECT_EQ(server.cacheEvictions(), 2u);
+}
+
+TEST(VipServer, ShutdownStopsTheLoop)
+{
+    Json req = Json::object();
+    req.set("run", dotSpec().toJson());
+
+    VipServer server;
+    std::istringstream in("{\"cmd\": \"shutdown\"}\n" + req.str() +
+                          "\n");
+    std::ostringstream out;
+    server.serve(in, out);
+
+    const std::vector<std::string> rsp = lines(out.str());
+    ASSERT_EQ(rsp.size(), 1u);
+    EXPECT_TRUE(Json::parse(rsp[0]).at("ok").asBool());
+    EXPECT_TRUE(server.shutdownRequested());
+    EXPECT_EQ(server.cacheMisses(), 0u);  // the run never dispatched
+}
+
+TEST(VipServer, ParallelPoolKeepsRequestOrder)
+{
+    // Distinct specs through a 4-worker pool must come back in
+    // request order with the keys matching each spec's fingerprint.
+    ServeOptions opts;
+    opts.jobs = 4;
+    VipServer server(opts);
+
+    std::string requests;
+    std::vector<std::string> want_keys;
+    for (unsigned i = 0; i < 8; ++i) {
+        RunSpec spec = dotSpec();
+        spec.maxCycles = 200'000 + i;
+        char buf[20];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(
+                          spec.fingerprint()));
+        want_keys.push_back(buf);
+        Json req = Json::object();
+        req.set("run", spec.toJson());
+        requests += req.str() + "\n";
+    }
+
+    std::istringstream in(requests);
+    std::ostringstream out;
+    server.serve(in, out);
+
+    const std::vector<std::string> rsp = lines(out.str());
+    ASSERT_EQ(rsp.size(), 8u);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(Json::parse(rsp[i]).at("key").asString(),
+                  want_keys[i])
+            << "response " << i;
+    }
+}
+
+} // namespace
+} // namespace vip

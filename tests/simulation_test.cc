@@ -59,7 +59,11 @@ TEST(Simulation, FluentDotProductEndToEnd)
     EXPECT_TRUE(result.haltedCleanly);
     EXPECT_GT(result.cycles, 0u);
     EXPECT_GT(result.ms(), 0.0);
-    EXPECT_NE(result.stats.find("cycles"), std::string::npos);
+    // The typed counter map replaces parsing the stats text (which
+    // stays debug-only).
+    EXPECT_GT(result.counter("system.pe0.instructions"), 0u);
+    EXPECT_FALSE(result.counters.empty());
+    EXPECT_EQ(result.counter("system.no.such.counter"), 0u);
     EXPECT_EQ(sim.peekDram(0x2000), want);
     EXPECT_EQ(sim.peekDram(0x2000, 1),
               std::vector<std::int16_t>{want});
@@ -76,7 +80,7 @@ TEST(Simulation, RunResultReportsBudgetExhaustion)
     EXPECT_GE(result.cycles, 64u);
 }
 
-TEST(Simulation, NocDimsForCoversPowersOfTwoAndFallback)
+TEST(Simulation, NocDimsForCoversPowersOfTwoRejectsOthers)
 {
     const auto check = [](unsigned vaults, unsigned x, unsigned y) {
         const auto d = nocDimsFor(vaults);
@@ -90,9 +94,14 @@ TEST(Simulation, NocDimsForCoversPowersOfTwoAndFallback)
     check(8, 4, 2);
     check(16, 4, 4);
     check(32, 8, 4);
-    // Non-power-of-two counts degrade to a 1-D ring.
-    check(3, 3, 1);
-    check(6, 6, 1);
+    check(64, 8, 8);
+    // Non-power-of-two (and zero) counts have no mesh mapping; the
+    // address interleave requires a power of two anyway, so reject
+    // them up front instead of silently degrading to a ring.
+    EXPECT_THROW(nocDimsFor(0), ConfigError);
+    EXPECT_THROW(nocDimsFor(3), ConfigError);
+    EXPECT_THROW(nocDimsFor(6), ConfigError);
+    EXPECT_THROW(nocDimsFor(48), ConfigError);
 }
 
 TEST(Simulation, MakeSystemConfigMatchesNocDims)

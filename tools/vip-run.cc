@@ -1,8 +1,13 @@
 /**
  * @file
- * Command-line VIP runner: load an assembly program onto one simulated
- * PE, optionally stage DRAM contents, run to completion, and dump
- * registers, scratchpad, DRAM ranges, and statistics.
+ * Command-line VIP runner — a thin client of the RunSpec execution
+ * path (system/runspec.hh). The flags assemble a RunSpec, the same
+ * serializable description of a run that the vip-serve daemon accepts
+ * over its JSON-lines protocol, and both front ends execute it
+ * through buildSimulation(); what differs here is purely
+ * presentation: the --dump-* flags inspect the machine afterwards
+ * and --json-stats wraps the structured result in a document with a
+ * host-timing section.
  *
  *   vip-run prog.s [options]
  *     --reg N=V            seed scalar register N (repeatable)
@@ -11,17 +16,14 @@
  *     --dump-dram A,N      print N int16 values at DRAM address A
  *     --dump-sp A,N        print N int16 scratchpad values
  *     --dump-regs          print the scalar register file
+ *     --dump-spec          print the run as RunSpec JSON (a valid
+ *                          vip-serve request body) and exit
  *     --stats              dump the statistics tree
- *     --json-stats FILE    write the statistics tree as JSON (stable
- *                          key order; "-" writes to stdout), plus a
- *                          "host" section with wall-clock timing and
- *                          fast-forward figures
- *     --inject SPEC        run a fault-injection campaign; SPEC is a
- *                          comma-separated key=value list, e.g.
- *                          seed=7,dram-read=1e-7,retention=1e-6,
- *                          noc-drop=1e-8,noc-corrupt=1e-8,
- *                          sp-flip=1e-9,ecc=on  (see sim/fault.hh);
- *                          adds a "faults" section to the JSON
+ *     --json-stats FILE    write statistics as JSON ("-" = stdout):
+ *                          a "host" section with wall-clock timing
+ *                          plus the deterministic RunResult document
+ *     --inject SPEC        run a fault-injection campaign (see
+ *                          sim/fault.hh); adds a "faults" section
  *     --max-cycles N       simulation budget (default 100M)
  *     --no-fast-forward    tick every cycle instead of warping over
  *                          provably dead ones (same results, slower)
@@ -39,65 +41,52 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "isa/assembler.hh"
+#include "cli.hh"
 #include "sim/error.hh"
 #include "sim/fault.hh"
-#include "system/simulation.hh"
+#include "sim/json.hh"
+#include "system/runspec.hh"
 
 using namespace vip;
 
 namespace {
 
-std::uint64_t
-parseNum(const std::string &s)
-{
-    return std::stoull(s, nullptr, 0);
-}
-
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: vip-run <prog.s> [--reg N=V] [--dram A=V] "
-                 "[--dump-dram A,N]\n"
-                 "       [--dump-sp A,N] [--dump-regs] [--stats] "
-                 "[--json-stats FILE]\n"
-                 "       [--inject SPEC] [--max-cycles N] "
-                 "[--no-fast-forward]\n"
-                 "       [--strict] [--trace]\n");
+    std::fprintf(
+        stderr,
+        "usage: vip-run <prog.s> [--reg N=V] [--dram A=V] "
+        "[--dump-dram A,N]\n"
+        "       [--dump-sp A,N] [--dump-regs] [--dump-spec] [--stats]\n"
+        "       [--max-cycles N] [--strict] [--trace] %s\n%s",
+        cli::commonUsage(cli::kJsonStats | cli::kInject |
+                         cli::kFastForward)
+            .c_str(),
+        cli::commonHelp(cli::kJsonStats | cli::kInject |
+                        cli::kFastForward)
+            .c_str());
     return 2;
 }
 
+/** {"error": {kind, message, detail}} for the --json-stats target. */
 std::string
-jsonEscape(const std::string &s)
+errorResponseJson(const std::string &kind, const std::string &message,
+                  const std::string &detail)
 {
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    Json err = Json::object();
+    err.set("kind", kind);
+    err.set("message", message);
+    err.set("detail", detail);
+    Json doc = Json::object();
+    doc.set("error", std::move(err));
+    return doc.str(0) + "\n";
 }
 
 /** Write @p body to the --json-stats target ("-" = stdout). */
@@ -117,32 +106,36 @@ emitJson(const std::string &path, const std::string &body)
     return true;
 }
 
-/** {"error": {kind, message, detail}} for the --json-stats target. */
-std::string
-errorJson(const std::string &kind, const std::string &message,
-          const std::string &detail)
-{
-    std::ostringstream os;
-    os << "{\n  \"error\": {\n"
-       << "    \"kind\": \"" << jsonEscape(kind) << "\",\n"
-       << "    \"message\": \"" << jsonEscape(message) << "\",\n"
-       << "    \"detail\": \"" << jsonEscape(detail) << "\"\n"
-       << "  }\n}\n";
-    return os.str();
-}
-
 struct Options
 {
     std::string sourcePath;
-    std::string jsonStatsPath;
+    cli::CommonOptions common;
     std::vector<std::pair<unsigned, std::uint64_t>> regs;
     std::vector<std::pair<Addr, std::int16_t>> pokes;
     std::vector<std::pair<Addr, unsigned>> dumpDram, dumpSp;
-    bool dumpRegs = false, wantStats = false, strict = false;
-    bool trace = false, fastForward = true;
-    std::string injectSpec;
+    bool dumpRegs = false, dumpSpec = false;
+    bool wantStats = false, strict = false, trace = false;
     Cycles maxCycles = 100'000'000;
 };
+
+/** The flags as a RunSpec — the serializable half of the run. */
+RunSpec
+specFromOptions(const Options &opt, const std::string &source)
+{
+    RunSpec spec;
+    spec.config = makeSystemConfig(1, 1);
+    spec.config.pe.strictHazards = opt.strict;
+    spec.config.fastForward = opt.common.fastForward;
+    if (!opt.common.injectSpec.empty())
+        spec.config.faults = FaultPlan::parse(opt.common.injectSpec);
+    spec.programs.push_back({0, source});
+    for (const auto &[addr, val] : opt.pokes)
+        spec.pokes.push_back({addr, {val}});
+    for (const auto &[r, v] : opt.regs)
+        spec.regs.push_back({0, r, v});
+    spec.maxCycles = opt.maxCycles;
+    return spec;
+}
 
 int
 run(const Options &opt)
@@ -156,45 +149,23 @@ run(const Options &opt)
     std::ostringstream ss;
     ss << in.rdbuf();
 
-    // Assemble outside the facade so errors carry the source path.
-    AssemblyError err;
-    auto prog = assemble(ss.str(), &err);
-    if (!err.message.empty()) {
-        std::fprintf(stderr, "%s:%u: error: %s\n",
-                     opt.sourcePath.c_str(), err.line,
-                     err.message.c_str());
-        if (!opt.jsonStatsPath.empty()) {
-            emitJson(opt.jsonStatsPath,
-                     errorJson("assembly",
-                               opt.sourcePath + ":" +
-                                   std::to_string(err.line) + ": " +
-                                   err.message,
-                               ""));
-        }
-        return 1;
+    const RunSpec spec = specFromOptions(opt, ss.str());
+    if (opt.dumpSpec) {
+        std::cout << spec.toJson().str(0) << "\n";
+        return 0;
     }
 
-    SystemConfig cfg = makeSystemConfig(1, 1);
-    cfg.pe.strictHazards = opt.strict;
-    cfg.fastForward = opt.fastForward;
-    if (!opt.injectSpec.empty())
-        cfg.faults = FaultPlan::parse(opt.injectSpec);
-    Simulation sim(cfg);
-    for (const auto &[addr, val] : opt.pokes)
-        sim.pokeDram(addr, val);
-    for (const auto &[r, v] : opt.regs)
-        sim.setReg(0, r, v);
+    const auto sim = buildSimulation(spec);
     if (opt.trace) {
-        sim.trace(0, [](Cycles at, std::size_t pc,
-                        const Instruction &inst) {
+        sim->trace(0, [](Cycles at, std::size_t pc,
+                         const Instruction &inst) {
             std::printf("%8llu  %4zu: %s\n",
                         static_cast<unsigned long long>(at), pc,
                         disassemble(inst).c_str());
         });
     }
-    sim.loadProgram(0, std::move(prog));
 
-    const RunResult result = sim.run(opt.maxCycles);
+    const RunResult result = sim->run(spec.maxCycles);
     std::printf("halted=%d cycles=%llu (%.3f us)\n",
                 result.haltedCleanly,
                 static_cast<unsigned long long>(result.cycles),
@@ -215,7 +186,7 @@ run(const Options &opt)
                     (unsigned long long)f.spBitFlips);
     }
 
-    VipSystem &sys = sim.system();
+    VipSystem &sys = sim->system();
     if (opt.dumpRegs) {
         for (unsigned r = 0; r < kNumScalarRegs; r += 4) {
             std::printf("r%-2u %16llx  r%-2u %16llx  r%-2u %16llx  "
@@ -236,59 +207,29 @@ run(const Options &opt)
     }
     for (const auto &[addr, count] : opt.dumpDram) {
         std::printf("dram[0x%llx]:", (unsigned long long)addr);
-        for (const std::int16_t v : sim.peekDram(addr, count))
+        for (const std::int16_t v : sim->peekDram(addr, count))
             std::printf(" %d", v);
         std::printf("\n");
     }
     if (opt.wantStats)
         std::fputs(result.stats.c_str(), stdout);
-    if (!opt.jsonStatsPath.empty()) {
-        // The "system" section is the simulated statistics tree and is
-        // bit-identical run to run; the "host" section carries the
-        // wall-clock figures, which are not. The "faults" section only
-        // appears when a campaign ran, so uninjected goldens are
-        // untouched.
-        std::ostringstream os;
-        char buf[32];
-        os << "{\n  \"host\": {\n"
-           << "    \"fastForwardedCycles\": "
-           << result.fastForwardedCycles << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.17g", result.hostSeconds);
-        os << "    \"hostSeconds\": " << buf << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.17g",
-                      result.simCyclesPerHostSecond);
-        os << "    \"simCyclesPerHostSecond\": " << buf << ",\n"
-           << "    \"memRequestPoolHighWater\": "
-           << result.memRequestPoolHighWater << ",\n"
-           << "    \"peRequestAllocations\": [";
-        for (std::size_t i = 0;
-             i < result.peRequestAllocations.size(); ++i) {
-            os << (i ? ", " : "") << result.peRequestAllocations[i];
-        }
-        os << "]\n  },\n";
+    if (!opt.common.jsonStatsPath.empty()) {
+        // The deterministic RunResult document (counters, formulas,
+        // faults — byte-identical run to run) plus a "host" section
+        // carrying the wall-clock figures, which are not.
+        Json doc = result.toJson();
+        Json host = Json::object();
+        host.set("hostSeconds", result.hostSeconds);
+        host.set("simCyclesPerHostSecond",
+                 result.simCyclesPerHostSecond);
+        doc.set("host", std::move(host));
         if (result.faultInjectionEnabled) {
-            const FaultStats &f = result.faults;
-            os << "  \"faults\": {\n"
-               << "    \"plan\": \""
-               << jsonEscape(sim.system().config().faults.toString())
-               << "\",\n"
-               << "    \"dramBitFlips\": " << f.dramBitFlips << ",\n"
-               << "    \"retentionErrors\": " << f.retentionErrors
-               << ",\n"
-               << "    \"eccCorrected\": " << f.eccCorrected << ",\n"
-               << "    \"eccDetected\": " << f.eccDetected << ",\n"
-               << "    \"eccSilent\": " << f.eccSilent << ",\n"
-               << "    \"nocDropped\": " << f.nocDropped << ",\n"
-               << "    \"nocCorrupted\": " << f.nocCorrupted << ",\n"
-               << "    \"nocRetransmits\": " << f.nocRetransmits
-               << ",\n"
-               << "    \"spBitFlips\": " << f.spBitFlips << "\n"
-               << "  },\n";
+            // Readers of the faults section also want the campaign.
+            Json f = doc.at("faults");
+            f.set("plan", spec.config.faults.toString());
+            doc.set("faults", std::move(f));
         }
-        os << "  \"system\": ";
-        sys.stats().dumpJsonValue(os, 1);
-        os << "\n}\n";
-        if (!emitJson(opt.jsonStatsPath, os.str()))
+        if (!emitJson(opt.common.jsonStatsPath, doc.str(0) + "\n"))
             return 1;
     }
     return 0;
@@ -299,8 +240,12 @@ run(const Options &opt)
 int
 main(int argc, char **argv)
 {
+    constexpr unsigned kFlags =
+        cli::kJsonStats | cli::kInject | cli::kFastForward;
     Options opt;
     for (int i = 1; i < argc; ++i) {
+        if (cli::consumeCommon(argc, argv, i, kFlags, opt.common))
+            continue;
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
@@ -308,40 +253,42 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        auto num = [&](const std::string &text) {
+            return cli::parseNum(argv[0], arg.c_str(), text.c_str());
+        };
         if (arg == "--reg") {
             const std::string v = next();
             const auto eq = v.find('=');
             opt.regs.emplace_back(std::stoul(v.substr(0, eq)),
-                                  parseNum(v.substr(eq + 1)));
+                                  num(v.substr(eq + 1)));
         } else if (arg == "--dram") {
             const std::string v = next();
             const auto eq = v.find('=');
-            opt.pokes.emplace_back(parseNum(v.substr(0, eq)),
+            opt.pokes.emplace_back(num(v.substr(0, eq)),
                                    static_cast<std::int16_t>(std::stol(
                                        v.substr(eq + 1), nullptr, 0)));
         } else if (arg == "--dump-dram" || arg == "--dump-sp") {
             const std::string v = next();
             const auto comma = v.find(',');
             auto &list = arg == "--dump-dram" ? opt.dumpDram : opt.dumpSp;
-            list.emplace_back(parseNum(v.substr(0, comma)),
+            list.emplace_back(num(v.substr(0, comma)),
                               static_cast<unsigned>(
-                                  parseNum(v.substr(comma + 1))));
+                                  num(v.substr(comma + 1))));
         } else if (arg == "--dump-regs") {
             opt.dumpRegs = true;
+        } else if (arg == "--dump-spec") {
+            opt.dumpSpec = true;
         } else if (arg == "--stats") {
             opt.wantStats = true;
-        } else if (arg == "--json-stats") {
-            opt.jsonStatsPath = next();
-        } else if (arg == "--inject") {
-            opt.injectSpec = next();
         } else if (arg == "--strict") {
             opt.strict = true;
         } else if (arg == "--trace") {
             opt.trace = true;
         } else if (arg == "--max-cycles") {
-            opt.maxCycles = parseNum(next());
-        } else if (arg == "--no-fast-forward") {
-            opt.fastForward = false;
+            opt.maxCycles = num(next());
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
         } else if (arg[0] == '-') {
             return usage();
         } else {
@@ -353,18 +300,32 @@ main(int argc, char **argv)
 
     try {
         return run(opt);
+    } catch (const AssemblyFailure &e) {
+        // Re-anchor the assembler's line number on the source path.
+        std::fprintf(stderr, "%s:%u: error: %s\n",
+                     opt.sourcePath.c_str(), e.line(), e.what());
+        if (!opt.common.jsonStatsPath.empty()) {
+            emitJson(opt.common.jsonStatsPath,
+                     errorResponseJson(e.kind(),
+                                       opt.sourcePath + ":" +
+                                           std::to_string(e.line()) +
+                                           ": " + e.message(),
+                                       e.detail()));
+        }
+        return 1;
     } catch (const SimError &e) {
         std::fprintf(stderr, "vip-run: error: %s\n", e.what());
-        if (!opt.jsonStatsPath.empty()) {
-            emitJson(opt.jsonStatsPath,
-                     errorJson(e.kind(), e.message(), e.detail()));
+        if (!opt.common.jsonStatsPath.empty()) {
+            emitJson(opt.common.jsonStatsPath,
+                     errorResponseJson(e.kind(), e.message(),
+                                       e.detail()));
         }
         return 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "vip-run: error: %s\n", e.what());
-        if (!opt.jsonStatsPath.empty()) {
-            emitJson(opt.jsonStatsPath,
-                     errorJson("exception", e.what(), ""));
+        if (!opt.common.jsonStatsPath.empty()) {
+            emitJson(opt.common.jsonStatsPath,
+                     errorResponseJson("exception", e.what(), ""));
         }
         return 1;
     }

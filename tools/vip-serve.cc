@@ -1,0 +1,180 @@
+/**
+ * @file
+ * vip-serve: the persistent simulation service.
+ *
+ * A long-lived process that answers RunSpec requests over a
+ * JSON-lines protocol (see serve/serve.hh for the request/response
+ * schema): each line in is one request, each line out is the
+ * matching response, in order. Two transports:
+ *
+ *   vip-serve [--stdin]            serve the stdin/stdout pipe until
+ *                                  EOF or a {"cmd":"shutdown"} line
+ *                                  (the default; what tests and CI
+ *                                  drive)
+ *   vip-serve --socket PATH        listen on a unix domain socket,
+ *                                  serving one connection at a time;
+ *                                  a shutdown request ends the whole
+ *                                  daemon, a disconnect just ends
+ *                                  that connection
+ *
+ * Options:
+ *   --jobs N     worker pool size (default 1: inline, deterministic
+ *                response order timing; 0 = hardware concurrency)
+ *   --cache N    result-cache capacity in entries (default 256;
+ *                0 disables caching)
+ *
+ * The worker pool and the content-addressed result cache live in
+ * VipServer; this file owns only transport and flag parsing. Every
+ * failure a request can cause comes back as an {"error": ...}
+ * response — the daemon survives malformed lines, bad configs,
+ * assembly errors, and deadlocked runs alike.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cli.hh"
+#include "serve/serve.hh"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <ext/stdio_filebuf.h>
+#endif
+
+using namespace vip;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: vip-serve [--stdin | --socket PATH] "
+                 "[--cache N] %s\n%s"
+                 "  --stdin             serve stdin/stdout (default)\n"
+                 "  --socket PATH       listen on a unix socket\n"
+                 "  --cache N           result-cache entries "
+                 "(default 256, 0 = off)\n",
+                 cli::commonUsage(cli::kJobs).c_str(),
+                 cli::commonHelp(cli::kJobs).c_str());
+    return 2;
+}
+
+#ifdef __unix__
+/** Serve connections on a unix socket until a shutdown request. */
+int
+serveSocket(VipServer &server, const std::string &path)
+{
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::perror("vip-serve: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "vip-serve: socket path too long: %s\n",
+                     path.c_str());
+        ::close(listener);
+        return 1;
+    }
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  path.c_str());
+    ::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(listener, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listener, 8) < 0) {
+        std::perror("vip-serve: bind/listen");
+        ::close(listener);
+        return 1;
+    }
+    std::fprintf(stderr, "vip-serve: listening on %s\n", path.c_str());
+
+    for (;;) {
+        const int client = ::accept(listener, nullptr, nullptr);
+        if (client < 0) {
+            std::perror("vip-serve: accept");
+            break;
+        }
+        // One connection at a time: requests within a connection
+        // already pipeline across the worker pool.
+        const std::uint64_t before = server.requests();
+        {
+            __gnu_cxx::stdio_filebuf<char> inbuf(client, std::ios::in);
+            __gnu_cxx::stdio_filebuf<char> outbuf(::dup(client),
+                                                  std::ios::out);
+            std::istream in(&inbuf);
+            std::ostream out(&outbuf);
+            server.serve(in, out);
+        }
+        std::fprintf(stderr,
+                     "vip-serve: connection closed after %llu "
+                     "requests\n",
+                     static_cast<unsigned long long>(server.requests() -
+                                                     before));
+        // serve() only returns early on EOF or shutdown; distinguish
+        // by asking the server whether shutdown was requested.
+        if (server.shutdownRequested())
+            break;
+    }
+    ::close(listener);
+    ::unlink(path.c_str());
+    return 0;
+}
+#endif
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::CommonOptions common;
+    common.jobs = 1;  // deterministic by default; opt into parallelism
+    std::string socketPath;
+    ServeOptions opts;
+    bool useStdin = true;
+
+    for (int i = 1; i < argc; ++i) {
+        if (cli::consumeCommon(argc, argv, i, cli::kJobs, common))
+            continue;
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (arg == "--stdin") {
+            useStdin = true;
+        } else if (arg == "--socket") {
+            socketPath = next();
+            useStdin = false;
+        } else if (arg == "--cache") {
+            opts.cacheEntries = static_cast<std::size_t>(
+                cli::parseNum(argv[0], "--cache", next()));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    opts.jobs = common.jobs;
+    VipServer server(opts);
+
+    if (useStdin) {
+        server.serve(std::cin, std::cout);
+        return 0;
+    }
+#ifdef __unix__
+    return serveSocket(server, socketPath);
+#else
+    std::fprintf(stderr,
+                 "vip-serve: --socket requires a unix platform\n");
+    return 1;
+#endif
+}
