@@ -59,6 +59,12 @@ struct MemRequest
  * allocations() counts the fresh heap allocations (both exported via
  * `vip-run --json-stats` so perf PRs can spot allocation regressions).
  *
+ * The pool is thread-confined to the host thread driving its
+ * VipSystem (like every piece of simulated state — see the
+ * concurrency contract on VipSystem::parkRequest): acquire/release
+ * are unsynchronized by design, and sharing a pool across threads is
+ * a caller bug, not a missing lock.
+ *
  * The pool must outlive every completion callback of its requests
  * (the issuing PE owns both, and completions are delivered only while
  * the machine ticks). Requests still in flight at teardown are freed

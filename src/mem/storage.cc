@@ -54,15 +54,29 @@ DramStorage::write(Addr addr, const void *src, std::size_t bytes)
     }
 }
 
+std::vector<Addr>
+DramStorage::touchedPageNumbers() const
+{
+    std::vector<Addr> numbers;
+    numbers.reserve(pages_.size());
+    // Hash-order scan only collects keys; every consumer walks the
+    // sorted copy. // vip-lint: allow(unordered-iter)
+    for (const auto &entry : pages_)
+        numbers.push_back(entry.first);
+    std::sort(numbers.begin(), numbers.end());
+    return numbers;
+}
+
 std::uint64_t
 DramStorage::fingerprint() const
 {
     // FNV-1a per page (seeded with the page number so content at the
-    // wrong address cannot cancel out), XOR-combined across pages so
-    // the digest is independent of hash-map iteration order.
+    // wrong address cannot cancel out), XOR-combined across pages and
+    // walked in sorted page order — the digest is order-independent
+    // twice over, and the walk itself can never leak hash order.
     std::uint64_t digest = 0;
-    for (const auto &[page_no, page] : pages_) {
-        const std::uint8_t *bytes = page.get();
+    for (const Addr page_no : touchedPageNumbers()) {
+        const std::uint8_t *bytes = pages_.at(page_no).get();
         const bool all_zero = std::all_of(bytes, bytes + kPageBytes,
                                           [](std::uint8_t b) {
                                               return b == 0;

@@ -73,9 +73,21 @@ class DramStorage
     std::size_t touchedPages() const { return pages_.size(); }
 
     /**
-     * Order-independent digest of DRAM contents. All-zero pages are
-     * ignored, so a page that was touched but never written differs in
-     * nothing from an untouched one — two runs of the same program are
+     * Page numbers of every touched page, in ascending order. The
+     * sanctioned way to walk the store for anything that reaches
+     * output: pages_ is a hash map, and hash-order iteration leaking
+     * into stats, JSON, or dumps is exactly the nondeterminism the
+     * `unordered-iter` vip-lint rule bans.
+     */
+    std::vector<Addr> touchedPageNumbers() const;
+
+    /**
+     * Digest of DRAM contents, computed over pages in ascending
+     * page-number order (never hash order). The per-page hashes are
+     * XOR-combined, so the value is additionally order-independent by
+     * construction — belt and braces. All-zero pages are ignored, so
+     * a page that was touched but never written differs in nothing
+     * from an untouched one — two runs of the same program are
      * content-equal iff their fingerprints match, regardless of which
      * pages each happened to allocate. Used by the fast-forward
      * equivalence tests to assert architectural state is identical.

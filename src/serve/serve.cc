@@ -103,7 +103,7 @@ VipServer::dispatchRun(const Json &spec_json)
     const std::uint64_t key = spec.fingerprint();
 
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         if (const std::string *cached = cacheFind(key)) {
             ++cacheHits_;
             // Emit the stored bytes verbatim: a hit's response is
@@ -133,7 +133,7 @@ VipServer::dispatchRun(const Json &spec_json)
                 SimError("exception", e.what()));
             is_error = true;
         }
-        std::unique_lock<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         if (!is_error)
             cacheInsert(key, response);
         p->response = std::move(response);
@@ -157,7 +157,12 @@ VipServer::statsResponse()
         },
         nullptr,
     });
-    serve.set("cacheEntries", cache_.size());
+    {
+        // The serving thread only calls this after drain(), but the
+        // cache is guarded state: read its size under the lock.
+        LockGuard lock(mutex_);
+        serve.set("cacheEntries", cache_.size());
+    }
     serve.set("cacheCapacity", opts_.cacheEntries);
     serve.set("jobs", engine_.jobs());
     Json body = Json::object();
@@ -211,7 +216,7 @@ VipServer::dispatch(const std::string &line, bool *shutdown)
 void
 VipServer::emitReady(std::ostream &out)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     while (!window_.empty() && window_.front()->done) {
         const PendingPtr p = window_.front();
         window_.pop_front();
@@ -226,7 +231,7 @@ VipServer::emitReady(std::ostream &out)
 void
 VipServer::drain(std::ostream &out)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     while (!window_.empty()) {
         const PendingPtr head = window_.front();
         cv_.wait(lock, [&head] { return head->done; });
@@ -256,13 +261,13 @@ VipServer::serve(std::istream &in, std::ostream &out)
             p = immediate(statsResponse(), false);
         }
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             window_.push_back(std::move(p));
         }
         emitReady(out);
         // Bound the pipeline: never more than two batches of work
         // queued ahead of the slowest outstanding request.
-        std::unique_lock<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         while (window_.size() >= 2 * engine_.jobs() + 1) {
             const PendingPtr head = window_.front();
             cv_.wait(lock, [&head] { return head->done; });

@@ -60,18 +60,17 @@
 #ifndef VIP_SERVE_SERVE_HH
 #define VIP_SERVE_SERVE_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <istream>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "sim/mutex.hh"
 #include "sim/stats.hh"
 #include "sim/sweep.hh"
 #include "system/runspec.hh"
@@ -137,8 +136,9 @@ class VipServer
     std::string statsResponse();
 
     /** LRU lookup; touches the entry. Null when absent. */
-    const std::string *cacheFind(std::uint64_t key);
-    void cacheInsert(std::uint64_t key, std::string response);
+    const std::string *cacheFind(std::uint64_t key) VIP_REQUIRES(mutex_);
+    void cacheInsert(std::uint64_t key, std::string response)
+        VIP_REQUIRES(mutex_);
 
     /** Emit every completed slot at the window head. */
     void emitReady(std::ostream &out);
@@ -157,17 +157,22 @@ class VipServer
     Counter cacheEvictions_;
     Counter errors_;
 
-    /** Guards window_ and the cache; cv_ signals slot completion. */
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<PendingPtr> window_;
+    /** Guards window_ and the cache (the only state the serving
+     *  thread and the worker-pool completion lambdas share); cv_
+     *  signals slot completion. The Pending slots themselves are
+     *  written by exactly one worker and only read by the serving
+     *  thread after `done` is observed true under this mutex. */
+    Mutex mutex_;
+    CondVar cv_;
+    std::deque<PendingPtr> window_ VIP_GUARDED_BY(mutex_);
 
     /** LRU: most-recent at the front; map points into the list. */
-    std::list<std::pair<std::uint64_t, std::string>> lru_;
+    std::list<std::pair<std::uint64_t, std::string>> lru_
+        VIP_GUARDED_BY(mutex_);
     std::unordered_map<
         std::uint64_t,
         std::list<std::pair<std::uint64_t, std::string>>::iterator>
-        cache_;
+        cache_ VIP_GUARDED_BY(mutex_);
 };
 
 /** {"error": {...}} response body for @p e (shared with vip-run). */

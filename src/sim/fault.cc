@@ -1,5 +1,6 @@
 #include "sim/fault.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdlib>
@@ -324,6 +325,19 @@ FaultInjector::spFlip(unsigned peId, std::uint64_t instIndex,
     record(FaultSite::Kind::SpFlip, peId,
            static_cast<std::uint64_t>(bit));
     return bit;
+}
+
+std::vector<std::pair<Addr, std::uint64_t>>
+FaultInjector::outstandingFlips() const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> flips;
+    flips.reserve(flipped_.size());
+    // Hash-order scan only collects entries; callers see the sorted
+    // copy. // vip-lint: allow(unordered-iter)
+    for (const auto &entry : flipped_)
+        flips.emplace_back(entry.first, entry.second);
+    std::sort(flips.begin(), flips.end());
+    return flips;
 }
 
 void

@@ -48,6 +48,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -202,6 +203,16 @@ class FaultInjector
 
     /** Outstanding (uncorrected, unoverwritten) flipped bits. */
     std::size_t outstandingFlippedWords() const { return flipped_.size(); }
+
+    /**
+     * Snapshot of the outstanding flips as (word address, flipped-bit
+     * mask) pairs in ascending address order. flipped_ is a hash map,
+     * so anything reporting its contents (stats, diagnosis dumps,
+     * JSON) must go through this sorted view, never iterate it
+     * directly — hash-order output is the nondeterminism the
+     * `unordered-iter` vip-lint rule exists to catch.
+     */
+    std::vector<std::pair<Addr, std::uint64_t>> outstandingFlips() const;
 
     const FaultPlan &plan() const { return plan_; }
     const FaultStats &stats() const { return stats_; }

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
-#include <mutex>
+
+#include "sim/mutex.hh"
 
 namespace vip {
 
@@ -12,7 +13,7 @@ namespace {
 std::atomic<std::size_t> warn_counter{0};
 
 /** Serializes writes to the sink so concurrent records never interleave. */
-std::mutex sink_mutex;
+Mutex sink_mutex;
 
 /** Per-thread record tag (empty = untagged), set by the sweep engine. */
 thread_local std::string thread_label;
@@ -44,7 +45,7 @@ emit(LogLevel level, const std::string &msg, const std::string &suffix)
     line += msg;
     line += suffix;
     line += "\n";
-    std::lock_guard<std::mutex> lock(sink_mutex);
+    LockGuard lock(sink_mutex);
     std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

@@ -27,7 +27,7 @@ SweepEngine::SweepEngine(unsigned jobs)
 SweepEngine::~SweepEngine()
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         shuttingDown_ = true;
     }
     workAvailable_.notify_all();
@@ -59,7 +59,7 @@ SweepEngine::runJob(const Job &job)
         failure.message = "non-exception object thrown";
     }
     if (eptr) {
-        std::unique_lock<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         errors_.emplace_back(job.index, eptr);
         failures_.push_back(std::move(failure));
     }
@@ -72,8 +72,8 @@ SweepEngine::workerLoop(unsigned)
     for (;;) {
         Job job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workAvailable_.wait(lock, [this] {
+            LockGuard lock(mutex_);
+            workAvailable_.wait(lock, [this]() VIP_REQUIRES(mutex_) {
                 return !queue_.empty() || shuttingDown_;
             });
             if (queue_.empty())
@@ -83,7 +83,7 @@ SweepEngine::workerLoop(unsigned)
         }
         runJob(job);
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             if (--inFlight_ == 0)
                 allDone_.notify_all();
         }
@@ -95,14 +95,19 @@ SweepEngine::submit(std::function<void()> fn)
 {
     if (jobs_ == 1) {
         // Inline mode: run immediately on the caller's thread, in
-        // submission order — exactly the old serial behaviour.
-        const std::size_t index = nextIndex_++;
+        // submission order — exactly the old serial behaviour. The
+        // (uncontended) lock keeps the guarded-by contract uniform.
+        std::size_t index;
+        {
+            LockGuard lock(mutex_);
+            index = nextIndex_++;
+        }
         runJob(Job{index, std::move(fn)});
         return index;
     }
     std::size_t index;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         vip_assert(!shuttingDown_, "submit after engine shutdown");
         index = nextIndex_++;
         queue_.push_back(Job{index, std::move(fn)});
@@ -116,12 +121,13 @@ void
 SweepEngine::wait()
 {
     std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
-    if (jobs_ == 1) {
-        errors.swap(errors_);
-        failures_.clear();
-    } else {
-        std::unique_lock<std::mutex> lock(mutex_);
-        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    {
+        LockGuard lock(mutex_);
+        // Inline mode never has work in flight here, so the wait is
+        // an immediate pass-through.
+        allDone_.wait(lock, [this]() VIP_REQUIRES(mutex_) {
+            return inFlight_ == 0;
+        });
         errors.swap(errors_);
         failures_.clear();
     }
@@ -139,12 +145,11 @@ std::vector<SweepFailure>
 SweepEngine::waitCollect()
 {
     std::vector<SweepFailure> failures;
-    if (jobs_ == 1) {
-        failures.swap(failures_);
-        errors_.clear();
-    } else {
-        std::unique_lock<std::mutex> lock(mutex_);
-        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    {
+        LockGuard lock(mutex_);
+        allDone_.wait(lock, [this]() VIP_REQUIRES(mutex_) {
+            return inFlight_ == 0;
+        });
         failures.swap(failures_);
         errors_.clear();
     }

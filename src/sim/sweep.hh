@@ -29,15 +29,15 @@
 #ifndef VIP_SIM_SWEEP_HH
 #define VIP_SIM_SWEEP_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "sim/mutex.hh"
 
 namespace vip {
 
@@ -178,18 +178,22 @@ class SweepEngine
     unsigned jobs_ = 1;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable workAvailable_;
-    std::condition_variable allDone_;
-    std::deque<Job> queue_;
-    std::size_t nextIndex_ = 0;   ///< submission counter
-    std::size_t inFlight_ = 0;    ///< queued + currently running
-    bool shuttingDown_ = false;
+    /** Guards every field below: the queue, the in-flight accounting,
+     *  and the failure captures. Workers and the submitting thread
+     *  meet nowhere else (jobs themselves share nothing by contract). */
+    Mutex mutex_;
+    CondVar workAvailable_;
+    CondVar allDone_;
+    std::deque<Job> queue_ VIP_GUARDED_BY(mutex_);
+    std::size_t nextIndex_ VIP_GUARDED_BY(mutex_) = 0;  ///< submissions
+    std::size_t inFlight_ VIP_GUARDED_BY(mutex_) = 0;   ///< queued+running
+    bool shuttingDown_ VIP_GUARDED_BY(mutex_) = false;
 
     /** (submission index, exception) for failed jobs, kept for
      *  wait()'s rethrow; failures_ carries the structured capture. */
-    std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
-    std::vector<SweepFailure> failures_;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors_
+        VIP_GUARDED_BY(mutex_);
+    std::vector<SweepFailure> failures_ VIP_GUARDED_BY(mutex_);
 };
 
 } // namespace vip

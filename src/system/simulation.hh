@@ -124,6 +124,10 @@ struct RunResult
     /** Injection and ECC counters (see sim/fault.hh). */
     FaultStats faults;
 
+    /** Flipped words still uncorrected/unoverwritten at run end
+     *  (FaultInjector::outstandingFlippedWords()). */
+    std::uint64_t outstandingFlippedWords = 0;
+
     double ms() const { return cyclesToMs(cycles); }
 
     /** Value of one counter by dotted path; 0 when absent. */

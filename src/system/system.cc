@@ -378,6 +378,19 @@ VipSystem::deadlockDiagnosis() const
         os << "\n  faults: nocDropped=" << f.nocDropped
            << " nocCorrupted=" << f.nocCorrupted
            << " retransmits=" << f.nocRetransmits;
+        // Sorted view, so the diagnosis is byte-stable run to run.
+        const auto flips = injector_->outstandingFlips();
+        if (!flips.empty()) {
+            os << "\n  outstanding flips:";
+            constexpr std::size_t kMaxFlips = 8;
+            for (std::size_t i = 0;
+                 i < flips.size() && i < kMaxFlips; ++i) {
+                os << " 0x" << std::hex << flips[i].first << ":"
+                   << flips[i].second << std::dec;
+            }
+            if (flips.size() > kMaxFlips)
+                os << " ... and " << flips.size() - kMaxFlips << " more";
+        }
     }
     return os.str();
 }

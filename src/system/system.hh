@@ -179,6 +179,15 @@ class VipSystem
      * expired cycle budget), which a raw release() into the closure
      * could not: destroying a std::function does not free what a
      * captured raw pointer points at.
+     *
+     * Concurrency contract: the slot table, the free list, and the
+     * per-PE MemRequestPools are *thread-confined*, not
+     * mutex-protected — they are only ever touched from the one host
+     * thread driving this VipSystem (run() asserts the confinement
+     * via running_; see "Static analysis & concurrency contracts" in
+     * docs/INTERNALS.md). Do not share them across threads; a future
+     * intra-run-parallelism PR must partition them per island, not
+     * add a lock here.
      */
     std::size_t
     parkRequest(std::unique_ptr<MemRequest> req)
@@ -243,7 +252,11 @@ class VipSystem
 
     Cycles now_ = 0;
 
-    /** Guards the one-thread-per-system invariant (see run()). */
+    /** Runtime check of the one-thread-per-system invariant (see
+     *  run()): the machine's state is confined, not synchronized, so
+     *  concurrent entry is a caller bug, caught here instead of as a
+     *  silent race. TSan builds (-DVIP_SANITIZE=thread) verify the
+     *  confinement holds in the parallel sweep and serve paths. */
     std::atomic<bool> running_{false};
 };
 

@@ -1,0 +1,8 @@
+// Fixture: a nonstandard guard kept on purpose, suppressed on the
+// #ifndef line.
+#ifndef LEGACY_GUARD_HH  // vip-lint: allow(include-guard)
+#define LEGACY_GUARD_HH
+
+int fixtureValue();
+
+#endif // LEGACY_GUARD_HH

@@ -1,0 +1,8 @@
+// Fixture: a guard that does not match the canonical VIP_<PATH>_HH
+// name for this file.
+#ifndef SOME_OTHER_GUARD_HH
+#define SOME_OTHER_GUARD_HH
+
+int fixtureValue();
+
+#endif // SOME_OTHER_GUARD_HH

@@ -1,0 +1,10 @@
+// Fixture: deterministic mixing only; no-rand must stay quiet.
+#include <cstdint>
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    return x ^ (x >> 33);
+}

@@ -1,0 +1,9 @@
+// Fixture: a sanctioned host-entropy read, explicitly suppressed.
+#include <random>
+
+unsigned
+entropy()
+{
+    std::random_device rd;  // vip-lint: allow(no-rand)
+    return rd();
+}

@@ -1,0 +1,12 @@
+// Fixture: calls into host randomness; every line here should trip
+// the no-rand rule.
+#include <cstdlib>
+#include <random>
+
+int
+noise()
+{
+    std::random_device rd;
+    srand(42);
+    return rand() + static_cast<int>(rd());
+}

@@ -1,0 +1,7 @@
+// Fixture: ordering by stable ids, not pointer values.
+#include <cstdint>
+#include <map>
+#include <set>
+
+std::map<std::uint32_t, int> rankById;
+std::set<std::uint32_t> visitedIds;

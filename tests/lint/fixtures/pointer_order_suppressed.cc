@@ -1,0 +1,8 @@
+// Fixture: a pointer-keyed side table that never reaches output,
+// suppressed explicitly.
+#include <map>
+
+struct Node;
+
+// Debug-only aid; never serialized. // vip-lint: allow(pointer-order)
+std::map<Node *, int> debugRank;

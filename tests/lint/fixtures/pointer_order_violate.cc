@@ -1,0 +1,18 @@
+// Fixture: pointer-keyed ordering and pointer hashing — every
+// construct here is allocation-order-dependent.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Node;
+
+std::map<Node *, int> rankByPointer;
+std::set<Node *> visited;
+
+std::size_t
+hashPointer(Node *n)
+{
+    const auto bits = reinterpret_cast<std::uintptr_t>(n);
+    return std::hash<Node *>{}(n) ^ bits;
+}

@@ -1,0 +1,14 @@
+// Fixture: identifier-like stat names (both repo spellings).
+struct StatGroup
+{
+    explicit StatGroup(const char *) {}
+};
+struct Counter
+{
+    Counter(StatGroup *, const char *, const char *) {}
+};
+
+StatGroup group("serve");
+
+Counter snake(&group, "vector_ops", "snake_case is fine");
+Counter camel(&group, "cacheHits", "lowerCamel is fine");

@@ -1,0 +1,14 @@
+// Fixture: a legacy stat name kept for golden compatibility,
+// suppressed explicitly.
+struct StatGroup
+{
+    explicit StatGroup(const char *) {}
+};
+struct Counter
+{
+    Counter(StatGroup *, const char *, const char *) {}
+};
+
+StatGroup group("legacy");
+
+Counter legacy(&group, "Hit.Rate", "frozen"); // vip-lint: allow(stat-name)

@@ -1,0 +1,16 @@
+// Fixture: stat registration names that would corrupt dotted paths
+// or break dump parsing.
+struct StatGroup
+{
+    explicit StatGroup(const char *) {}
+};
+struct Counter
+{
+    Counter(StatGroup *, const char *, const char *) {}
+};
+
+StatGroup badGroup("Bad Group");
+
+Counter dotted(&badGroup, "cache.hits", "dots split stat paths");
+Counter spaced(&badGroup, "cache hits", "spaces break dump parsing");
+Counter capitalized(&badGroup, "CacheHits", "must start lowercase");

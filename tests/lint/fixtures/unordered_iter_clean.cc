@@ -1,0 +1,13 @@
+// Fixture: keyed lookups into an unordered map are fine — only
+// iteration is hash-ordered.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> pages;
+
+std::uint64_t
+bytesAt(std::uint64_t page)
+{
+    const auto it = pages.find(page);
+    return it == pages.end() ? 0 : it->second;
+}

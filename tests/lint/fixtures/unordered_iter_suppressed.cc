@@ -1,0 +1,20 @@
+// Fixture: the sanctioned sorted-drain idiom — the collector loop is
+// suppressed, everything downstream walks the sorted copy.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<std::uint64_t, std::uint64_t> pages;
+
+std::vector<std::uint64_t>
+sortedPages()
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages.size());
+    // Hash-order scan feeding a sorted copy. // vip-lint: allow(unordered-iter)
+    for (const auto &[page, bytes] : pages)
+        keys.push_back(page);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}

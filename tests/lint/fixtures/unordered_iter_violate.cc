@@ -1,0 +1,16 @@
+// Fixture: hash-order iteration reaching a caller-visible sum.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> pages;
+
+std::uint64_t
+total()
+{
+    std::uint64_t sum = 0;
+    for (const auto &[page, bytes] : pages)
+        sum += bytes;
+    for (auto it = pages.begin(); it != pages.end(); ++it)
+        sum ^= it->first;
+    return sum;
+}

@@ -1,0 +1,6 @@
+// Fixture: no suppressions at all.
+int
+plain()
+{
+    return 7;
+}

@@ -1,0 +1,7 @@
+// Fixture: a deliberately-kept stale allow, itself suppressed via
+// the meta rule.
+int
+plain()
+{
+    return 7;  // vip-lint: allow(wall-clock, unused-allow)
+}

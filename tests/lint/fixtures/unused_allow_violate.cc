@@ -1,0 +1,7 @@
+// Fixture: an allow() comment with nothing to suppress — stale
+// exceptions must themselves be violations.
+int
+plain()
+{
+    return 7;  // vip-lint: allow(wall-clock)
+}

@@ -1,0 +1,9 @@
+// Fixture: qualified names only.
+#ifndef VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_CLEAN_HH
+#define VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_CLEAN_HH
+
+#include <string>
+
+std::string fixtureName();
+
+#endif // VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_CLEAN_HH

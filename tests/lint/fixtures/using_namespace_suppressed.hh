@@ -1,0 +1,12 @@
+// Fixture: a using-directive kept in a generated-style header,
+// suppressed explicitly.
+#ifndef VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_SUPPRESSED_HH
+#define VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_SUPPRESSED_HH
+
+#include <string>
+
+using namespace std;  // vip-lint: allow(using-namespace)
+
+string fixtureName();
+
+#endif // VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_SUPPRESSED_HH

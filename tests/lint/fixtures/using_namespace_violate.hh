@@ -1,0 +1,11 @@
+// Fixture: file-scope using-directive in a header.
+#ifndef VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_VIOLATE_HH
+#define VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_VIOLATE_HH
+
+#include <string>
+
+using namespace std;
+
+string fixtureName();
+
+#endif // VIP_TESTS_LINT_FIXTURES_USING_NAMESPACE_VIOLATE_HH

@@ -1,0 +1,10 @@
+// Fixture: simulated time only; wall-clock must stay quiet.
+#include <cstdint>
+
+using Cycles = std::uint64_t;
+
+double
+cyclesToMs(Cycles c)
+{
+    return static_cast<double>(c) / 1e6;
+}

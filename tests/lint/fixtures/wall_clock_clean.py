@@ -1,0 +1,8 @@
+"""Fixture: monotonic interval timing is fine; wall-clock stays quiet."""
+import time
+
+
+def measure(fn):
+    start = time.monotonic()
+    fn()
+    return time.monotonic() - start

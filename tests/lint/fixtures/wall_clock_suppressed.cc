@@ -1,0 +1,12 @@
+// Fixture: a host-timing measurement site, suppressed the sanctioned
+// way (comment-above form).
+#include <chrono>
+
+double
+hostSeconds()
+{
+    // Host-timing site. // vip-lint: allow(wall-clock)
+    const auto start = std::chrono::steady_clock::now();
+    const auto end = std::chrono::steady_clock::now();  // vip-lint: allow(wall-clock)
+    return std::chrono::duration<double>(end - start).count();
+}

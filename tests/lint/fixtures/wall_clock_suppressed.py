@@ -1,0 +1,6 @@
+"""Fixture: suppressed python wall-clock read."""
+import time
+
+
+def stamp():
+    return time.time()  # vip-lint: allow(wall-clock)

@@ -1,0 +1,16 @@
+// Fixture: host clock reads feeding a return value.
+#include <chrono>
+#include <ctime>
+
+double
+now()
+{
+    const auto a = std::chrono::steady_clock::now();
+    const auto b = std::chrono::system_clock::now();
+    const auto c = std::chrono::high_resolution_clock::now();
+    (void)b;
+    (void)c;
+    const std::time_t t = time(nullptr);
+    return std::chrono::duration<double>(a.time_since_epoch()).count() +
+           static_cast<double>(t);
+}

@@ -1,0 +1,7 @@
+"""Fixture: python host-clock reads; wall-clock should fire."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now()
