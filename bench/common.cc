@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 
 #include "isa/builder.hh"
 #include "kernels/bp_kernel.hh"
@@ -25,12 +26,28 @@ namespace {
 /** Set by --no-fast-forward; read by every run* helper below. */
 bool g_fast_forward = true;
 
+/** Set by --islands; clamped per machine shape via islandsFor(). */
+unsigned g_islands = 1;
+
+/**
+ * Island count a bench machine actually runs with: the largest count
+ * dividing both the request and the NoC X dimension. Single-vault
+ * helpers (nocX == 1) stay serial no matter what --islands asks for;
+ * the 32-vault machine (nocX == 8) shards for --islands 2/4/8.
+ */
+unsigned
+islandsFor(unsigned noc_x)
+{
+    return std::gcd(g_islands, noc_x);
+}
+
 } // namespace
 
 BenchOptions
 parseBenchOptions(int argc, char **argv, double default_frac)
 {
-    constexpr unsigned kFlags = cli::kJobs | cli::kFastForward;
+    constexpr unsigned kFlags =
+        cli::kJobs | cli::kFastForward | cli::kIslands;
     BenchOptions opts;
     opts.frac = default_frac;
     cli::CommonOptions common;
@@ -50,7 +67,19 @@ parseBenchOptions(int argc, char **argv, double default_frac)
     }
     opts.jobs = common.jobs;
     opts.fastForward = common.fastForward;
+    opts.islands = common.islands;
     g_fast_forward = common.fastForward;
+    g_islands = common.islands;
+    bool oversubscribed = false;
+    const unsigned budget =
+        hostThreadBudget(opts.jobs, opts.islands, &oversubscribed);
+    if (oversubscribed) {
+        std::fprintf(stderr,
+                     "%s: warning: --jobs x --islands wants %u host "
+                     "threads but the host has %u; timings will show "
+                     "contention, not speedup\n",
+                     argv[0], budget, SweepEngine::hardwareJobs());
+    }
     return opts;
 }
 
@@ -121,6 +150,7 @@ runBpTilePhase(unsigned tile_w, unsigned tile_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
 
@@ -169,6 +199,7 @@ runBpSweepVariant(unsigned tile_w, unsigned tile_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     Simulation sim(cfg);
     MrfDramLayout layout(sim.vaultBase(), tile_w, tile_h, labels);
 
@@ -198,6 +229,7 @@ runConvShare(const LayerDesc &layer, unsigned vaults_active,
     vip_assert(layer.kind == LayerDesc::Kind::Conv, "not a conv layer");
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
 
     const unsigned in_c = layer.inChannels;
@@ -298,6 +330,7 @@ runPoolShare(const LayerDesc &layer, unsigned vaults_active,
     vip_assert(layer.kind == LayerDesc::Kind::Pool, "not a pool layer");
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
 
@@ -339,6 +372,7 @@ runFcLayer(unsigned inputs, unsigned outputs, double row_fraction,
 {
     SystemConfig cfg = makeSystemConfig(32, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
     VipSystem &sys = sim.system();
@@ -426,6 +460,7 @@ runConstructPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     Simulation sim(cfg);
     MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
     MrfDramLayout coarse(fine.end() + 64, fine_w / 2, fine_h / 2,
@@ -451,6 +486,7 @@ runCopyPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     Simulation sim(cfg);
     MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
     MrfDramLayout coarse(fine.end() + 64, fine_w / 2, fine_h / 2,
@@ -475,6 +511,7 @@ runStreamCopy(std::uint64_t bytes_per_pe, const MemKnobs &knobs)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
 

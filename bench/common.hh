@@ -73,14 +73,21 @@ struct BenchOptions
 
     /** False after --no-fast-forward: tick every dead cycle. */
     bool fastForward = true;
+
+    /** Requested island count (1 = serial tick loop). Each run*
+     *  helper clamps this to what its machine can shard: the applied
+     *  count is gcd(islands, nocX), so single-vault benches stay
+     *  serial while the 32-vault ones split into column bands. */
+    unsigned islands = 1;
 };
 
 /**
- * Parse `[FRAC] [--jobs N] [--no-fast-forward]`; exits with usage on
- * bad arguments. `--no-fast-forward` also applies globally: every
- * subsequent run* helper in this translation unit builds its systems
- * without the event-horizon warp (results are identical either way;
- * the flag exists to measure and regression-test exactly that).
+ * Parse `[FRAC] [--jobs N] [--islands N] [--no-fast-forward]`; exits
+ * with usage on bad arguments. `--no-fast-forward` and `--islands`
+ * also apply globally: every subsequent run* helper in this
+ * translation unit builds its systems with that fast-forward setting
+ * and (clamped) island count. Results are identical either way; both
+ * flags exist to measure and regression-test exactly that.
  */
 BenchOptions parseBenchOptions(int argc, char **argv,
                                double default_frac = 0);

@@ -2,24 +2,69 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace vip {
+
+DramStorage::~DramStorage()
+{
+    for (auto &slot : root_) {
+        Leaf *leaf = slot.load(std::memory_order_relaxed);
+        if (!leaf)
+            continue;
+        for (auto &page : leaf->pages)
+            delete[] page.load(std::memory_order_relaxed);
+        delete leaf;
+    }
+}
 
 const std::uint8_t *
 DramStorage::pageFor(Addr addr) const
 {
-    auto it = pages_.find(addr / kPageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    const Addr page_no = addr / kPageBytes;
+    const Leaf *leaf =
+        root_[page_no >> kLeafBits].load(std::memory_order_acquire);
+    if (!leaf)
+        return nullptr;
+    return leaf->pages[page_no & (kLeafSlots - 1)].load(
+        std::memory_order_acquire);
 }
 
 std::uint8_t *
 DramStorage::pageForWrite(Addr addr)
 {
-    auto &slot = pages_[addr / kPageBytes];
-    if (!slot) {
-        slot = std::make_unique<std::uint8_t[]>(kPageBytes);
-        std::memset(slot.get(), 0, kPageBytes);
+    const Addr page_no = addr / kPageBytes;
+    vip_assert(page_no >> (kRootBits + kLeafBits) == 0,
+               "DRAM address past the 64 GiB radix span");
+
+    auto &root_slot = root_[page_no >> kLeafBits];
+    Leaf *leaf = root_slot.load(std::memory_order_acquire);
+    if (!leaf) {
+        // First-touch CAS race: the loser frees its candidate and
+        // adopts the winner's, so exactly one leaf is ever published.
+        Leaf *fresh = new Leaf();
+        if (root_slot.compare_exchange_strong(leaf, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire))
+            leaf = fresh;
+        else
+            delete fresh;
     }
-    return slot.get();
+
+    auto &page_slot = leaf->pages[page_no & (kLeafSlots - 1)];
+    std::uint8_t *page = page_slot.load(std::memory_order_acquire);
+    if (!page) {
+        std::uint8_t *fresh = new std::uint8_t[kPageBytes]();
+        if (page_slot.compare_exchange_strong(page, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            page = fresh;
+            touched_.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+            delete[] fresh;
+        }
+    }
+    return page;
 }
 
 void
@@ -58,12 +103,15 @@ std::vector<Addr>
 DramStorage::touchedPageNumbers() const
 {
     std::vector<Addr> numbers;
-    numbers.reserve(pages_.size());
-    // Hash-order scan only collects keys; every consumer walks the
-    // sorted copy. // vip-lint: allow(unordered-iter)
-    for (const auto &entry : pages_)
-        numbers.push_back(entry.first);
-    std::sort(numbers.begin(), numbers.end());
+    numbers.reserve(touchedPages());
+    for (std::size_t r = 0; r < kRootSlots; ++r) {
+        const Leaf *leaf = root_[r].load(std::memory_order_acquire);
+        if (!leaf)
+            continue;
+        for (std::size_t l = 0; l < kLeafSlots; ++l)
+            if (leaf->pages[l].load(std::memory_order_acquire))
+                numbers.push_back((Addr{r} << kLeafBits) | l);
+    }
     return numbers;
 }
 
@@ -72,23 +120,32 @@ DramStorage::fingerprint() const
 {
     // FNV-1a per page (seeded with the page number so content at the
     // wrong address cannot cancel out), XOR-combined across pages and
-    // walked in sorted page order — the digest is order-independent
-    // twice over, and the walk itself can never leak hash order.
+    // walked in ascending radix order — the digest is order-independent
+    // twice over.
     std::uint64_t digest = 0;
-    for (const Addr page_no : touchedPageNumbers()) {
-        const std::uint8_t *bytes = pages_.at(page_no).get();
-        const bool all_zero = std::all_of(bytes, bytes + kPageBytes,
-                                          [](std::uint8_t b) {
-                                              return b == 0;
-                                          });
-        if (all_zero)
+    for (std::size_t r = 0; r < kRootSlots; ++r) {
+        const Leaf *leaf = root_[r].load(std::memory_order_acquire);
+        if (!leaf)
             continue;
-        std::uint64_t h = 0xcbf29ce484222325ULL ^ page_no;
-        for (std::size_t i = 0; i < kPageBytes; ++i) {
-            h ^= bytes[i];
-            h *= 0x100000001b3ULL;
+        for (std::size_t l = 0; l < kLeafSlots; ++l) {
+            const std::uint8_t *bytes =
+                leaf->pages[l].load(std::memory_order_acquire);
+            if (!bytes)
+                continue;
+            const bool all_zero = std::all_of(bytes, bytes + kPageBytes,
+                                              [](std::uint8_t b) {
+                                                  return b == 0;
+                                              });
+            if (all_zero)
+                continue;
+            const Addr page_no = (Addr{r} << kLeafBits) | l;
+            std::uint64_t h = 0xcbf29ce484222325ULL ^ page_no;
+            for (std::size_t i = 0; i < kPageBytes; ++i) {
+                h ^= bytes[i];
+                h *= 0x100000001b3ULL;
+            }
+            digest ^= h;
         }
-        digest ^= h;
     }
     return digest;
 }

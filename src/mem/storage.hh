@@ -6,15 +6,31 @@
  * in DRAMSim2-style simulators: data moves when the corresponding column
  * access is serviced. Pages are allocated on first touch and zero-filled
  * so untouched DRAM reads as zero.
+ *
+ * ## Concurrency
+ *
+ * One store backs the whole machine, and in island mode (see
+ * sim/island.hh) several island threads touch it in the same quantum.
+ * The page *table* is therefore a fixed two-level radix tree of atomic
+ * pointers — lookup is two lock-free acquire-loads, first-touch
+ * allocation is a CAS race whose loser frees its page and takes the
+ * winner's — while the page *bytes* stay plain memory: simultaneous
+ * access to the same byte from two islands would be a data race in the
+ * *simulated* program (two PEs racing on one DRAM word), which the
+ * workloads this supports do not do, and which TSan in the island test
+ * suite would catch if one did. This replaced an unordered_map when
+ * islands landed: a hash map cannot take concurrent first-touch
+ * inserts, and rehashing invalidates every concurrent reader.
  */
 
 #ifndef VIP_MEM_STORAGE_HH
 #define VIP_MEM_STORAGE_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -25,6 +41,14 @@ class DramStorage
 {
   public:
     static constexpr std::size_t kPageBytes = 4096;
+
+    DramStorage() = default;
+    ~DramStorage();
+
+    /** The table holds raw owning pointers; copying or moving a
+     *  machine-sized backing store is never meaningful. */
+    DramStorage(const DramStorage &) = delete;
+    DramStorage &operator=(const DramStorage &) = delete;
 
     void read(Addr addr, void *dst, std::size_t bytes) const;
     void write(Addr addr, const void *src, std::size_t bytes);
@@ -70,35 +94,52 @@ class DramStorage
     }
 
     /** Number of pages touched so far (footprint proxy). */
-    std::size_t touchedPages() const { return pages_.size(); }
+    std::size_t
+    touchedPages() const
+    {
+        return touched_.load(std::memory_order_acquire);
+    }
 
     /**
-     * Page numbers of every touched page, in ascending order. The
-     * sanctioned way to walk the store for anything that reaches
-     * output: pages_ is a hash map, and hash-order iteration leaking
-     * into stats, JSON, or dumps is exactly the nondeterminism the
-     * `unordered-iter` vip-lint rule bans.
+     * Page numbers of every touched page, in ascending order — the
+     * radix walk visits them that way by construction, so consumers
+     * (stats, JSON, dumps) can never observe allocation order.
      */
     std::vector<Addr> touchedPageNumbers() const;
 
     /**
      * Digest of DRAM contents, computed over pages in ascending
-     * page-number order (never hash order). The per-page hashes are
-     * XOR-combined, so the value is additionally order-independent by
-     * construction — belt and braces. All-zero pages are ignored, so
-     * a page that was touched but never written differs in nothing
-     * from an untouched one — two runs of the same program are
-     * content-equal iff their fingerprints match, regardless of which
-     * pages each happened to allocate. Used by the fast-forward
-     * equivalence tests to assert architectural state is identical.
+     * page-number order. The per-page hashes are XOR-combined, so the
+     * value is additionally order-independent by construction — belt
+     * and braces. All-zero pages are ignored, so a page that was
+     * touched but never written differs in nothing from an untouched
+     * one — two runs of the same program are content-equal iff their
+     * fingerprints match, regardless of which pages each happened to
+     * allocate (or which island allocated them). Used by the
+     * fast-forward and island equivalence tests to assert
+     * architectural state is identical.
      */
     std::uint64_t fingerprint() const;
 
   private:
+    /** 12 + 12 page-table bits over 4 KiB pages: a 64 GiB address
+     *  span, far beyond the modelled 8 GiB stack, at 32 KiB per
+     *  machine for the root and 32 KiB per lazily-built leaf. */
+    static constexpr unsigned kLeafBits = 12;
+    static constexpr unsigned kRootBits = 12;
+    static constexpr std::size_t kLeafSlots = std::size_t{1} << kLeafBits;
+    static constexpr std::size_t kRootSlots = std::size_t{1} << kRootBits;
+
+    struct Leaf
+    {
+        std::array<std::atomic<std::uint8_t *>, kLeafSlots> pages{};
+    };
+
     const std::uint8_t *pageFor(Addr addr) const;
     std::uint8_t *pageForWrite(Addr addr);
 
-    std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> pages_;
+    std::array<std::atomic<Leaf *>, kRootSlots> root_{};
+    std::atomic<std::size_t> touched_{0};
 };
 
 } // namespace vip

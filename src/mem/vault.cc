@@ -164,6 +164,16 @@ VaultController::beginRefresh(Cycles now)
 }
 
 void
+VaultController::catchUpRefreshes(Cycles until)
+{
+    // beginRefresh(deadline) — not (now) — so bank timing windows,
+    // stats_.refreshes, and the (vault, refreshIndex_) retention draw
+    // are byte-identical to a run that ticked through the deadline.
+    while (nextRefreshAt_ < until)
+        beginRefresh(nextRefreshAt_);
+}
+
+void
 VaultController::deactivateBank(unsigned bank_idx)
 {
     banks_[bank_idx].active = false;

@@ -1,6 +1,7 @@
 #include "noc/torus.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/fault.hh"
 #include "sim/logging.hh"
@@ -10,6 +11,9 @@ namespace vip {
 TorusNoc::TorusNoc(unsigned xdim, unsigned ydim, StatGroup *parent)
     : xdim_(xdim), ydim_(ydim),
       linkFreeAt_(static_cast<std::size_t>(xdim) * ydim * NumPorts, 0),
+      laneSeq_(static_cast<std::size_t>(xdim) * ydim * kLanes, 0),
+      islandOf_(static_cast<std::size_t>(xdim) * ydim, 0),
+      shards_(1),
       statGroup_("noc", parent),
       statDelivered_(&statGroup_, "delivered", "packets delivered"),
       statBytes_(&statGroup_, "bytes", "payload bytes delivered"),
@@ -18,6 +22,27 @@ TorusNoc::TorusNoc(unsigned xdim, unsigned ydim, StatGroup *parent)
       statHops_(&statGroup_, "hops_total", "torus hops traversed")
 {
     vip_assert(xdim_ > 0 && ydim_ > 0, "degenerate torus");
+    shards_[0].outbox.resize(1);
+}
+
+void
+TorusNoc::setPartition(const std::vector<unsigned> &island_of_node,
+                       unsigned islands)
+{
+    vip_assert(islands >= 1, "need at least one island");
+    vip_assert(island_of_node.size() == numNodes(),
+               "partition map does not cover the torus");
+    for (Shard &sh : shards_)
+        vip_assert(sh.events.empty() && sh.packets.size() ==
+                                            sh.freeSlots.size(),
+                   "repartitioning a network with traffic in flight");
+    for (const unsigned i : island_of_node)
+        vip_assert(i < islands, "node mapped past the last island");
+    islandOf_ = island_of_node;
+    shards_.clear();
+    shards_.resize(islands);
+    for (Shard &sh : shards_)
+        sh.outbox.resize(islands);
 }
 
 unsigned
@@ -59,46 +84,55 @@ TorusNoc::occupy(std::size_t link, Cycles ready, unsigned bytes)
     return start;
 }
 
+std::size_t
+TorusNoc::allocSlot(Shard &sh, Packet pkt)
+{
+    if (!sh.freeSlots.empty()) {
+        const std::size_t slot = sh.freeSlots.back();
+        sh.freeSlots.pop_back();
+        sh.packets[slot] = std::move(pkt);
+        return slot;
+    }
+    sh.packets.push_back(std::move(pkt));
+    return sh.packets.size() - 1;
+}
+
 void
 TorusNoc::send(Packet pkt, Cycles now)
 {
     vip_assert(pkt.src < numNodes() && pkt.dst < numNodes(),
                "packet endpoints out of range");
-    pkt.injectedAt = now;
-    pkt.seq = nextSeq_++;
-
-    std::size_t slot;
-    if (!freeSlots_.empty()) {
-        slot = freeSlots_.back();
-        freeSlots_.pop_back();
-        packets_[slot] = std::move(pkt);
-    } else {
-        slot = packets_.size();
-        packets_.push_back(std::move(pkt));
-    }
-
     vip_assert(pkt.srcLane < kLanes && pkt.dstLane < kLanes,
                "bad star lane");
-    const unsigned bytes = packets_[slot].payloadBytes + kHeaderBytes;
+    pkt.injectedAt = now;
+    pkt.seq = laneSeq_[pkt.src * kLanes + pkt.srcLane]++;
+
+    Shard &sh = shards_[islandOf_[pkt.src]];
+    const std::size_t slot = allocSlot(sh, std::move(pkt));
+    Packet &p = sh.packets[slot];
+
+    const unsigned bytes = p.payloadBytes + kHeaderBytes;
     const Cycles start = occupy(
-        linkId(packets_[slot].src,
-               static_cast<Port>(InjectBase + packets_[slot].srcLane)),
-        now, bytes);
+        linkId(p.src, static_cast<Port>(InjectBase + p.srcLane)), now,
+        bytes);
     const Cycles ser = (bytes + kBytesPerCycle - 1) / kBytesPerCycle;
-    events_.push({start + ser, slot, packets_[slot].src});
+    sh.events.push({start + ser, slot, p.src, laneKeyOf(p)});
 }
 
 void
-TorusNoc::advance(std::size_t packet_index, unsigned node, Cycles now)
+TorusNoc::advance(unsigned island, std::size_t packet_index,
+                  unsigned node, Cycles now)
 {
-    Packet &pkt = packets_[packet_index];
+    Shard &sh = shards_[island];
+    Packet &pkt = sh.packets[packet_index];
     const unsigned bytes = pkt.payloadBytes + kHeaderBytes;
     const Cycles ser = (bytes + kBytesPerCycle - 1) / kBytesPerCycle;
+    const bool serial = shards_.size() == 1;
 
     if (node == pkt.dst) {
         if (!pkt.ejected) {
             if (injector_ &&
-                injector_->onNocArrival(pkt.seq, pkt.attempts) !=
+                injector_->onNocArrival(laneKeyOf(pkt), pkt.attempts) !=
                     FaultInjector::NocVerdict::Deliver) {
                 // Lost at the ejection port (dropped flit or link CRC
                 // failure): the link-level retry re-injects the whole
@@ -107,11 +141,26 @@ TorusNoc::advance(std::size_t packet_index, unsigned node, Cycles now)
                 // preserved so latency statistics absorb the retry.
                 if (pkt.attempts < UINT16_MAX)
                     ++pkt.attempts;
+                const unsigned home = islandOf_[pkt.src];
+                if (home != island) {
+                    // Cross-island retry: the verdict lands on the
+                    // destination island but the injection link lives
+                    // on the source island, so hand the packet back by
+                    // mail; the source re-occupies its lane when it
+                    // drains (documented timing divergence for faulty
+                    // cross-island traffic, see docs/INTERNALS.md).
+                    Packet moved = std::move(pkt);
+                    sh.freeSlots.push_back(packet_index);
+                    sh.outbox[home].push_back(
+                        {now, moved.src, true, std::move(moved)});
+                    return;
+                }
                 const Cycles start = occupy(
                     linkId(pkt.src,
                            static_cast<Port>(InjectBase + pkt.srcLane)),
                     now, bytes);
-                events_.push({start + ser, packet_index, pkt.src});
+                sh.events.push(
+                    {start + ser, packet_index, pkt.src, laneKeyOf(pkt)});
                 return;
             }
             // Reserve the ejection port; deliver when the tail clears it.
@@ -120,32 +169,193 @@ TorusNoc::advance(std::size_t packet_index, unsigned node, Cycles now)
                 now, bytes);
             pkt.ejected = true;
             pkt.deliveredAt = start + ser;
-            events_.push({pkt.deliveredAt, packet_index, node});
+            sh.events.push(
+                {pkt.deliveredAt, packet_index, node, laneKeyOf(pkt)});
             return;
         }
-        statDelivered_ += 1;
-        statBytes_ += pkt.payloadBytes;
-        statLatency_ += pkt.deliveredAt - pkt.injectedAt;
-        latencyHist_.sample(pkt.deliveredAt - pkt.injectedAt);
+        const Cycles latency = pkt.deliveredAt - pkt.injectedAt;
+        if (serial) {
+            statDelivered_ += 1;
+            statBytes_ += pkt.payloadBytes;
+            statLatency_ += latency;
+            latencyHist_.sample(latency);
+        } else {
+            sh.delivered += 1;
+            sh.bytes += pkt.payloadBytes;
+            sh.latencyTotal += latency;
+            sh.hist.sample(latency);
+        }
         if (pkt.onArrive)
             pkt.onArrive(pkt);
-        freeSlots_.push_back(packet_index);
+        sh.freeSlots.push_back(packet_index);
         return;
     }
 
     const auto [next, port] = route(node, pkt.dst);
     const Cycles start = occupy(linkId(node, port), now, bytes);
-    statHops_ += 1;
-    events_.push({start + kHopLatency + ser, packet_index, next});
+    if (serial)
+        statHops_ += 1;
+    else
+        sh.hops += 1;
+    const Cycles at = start + kHopLatency + ser;
+    const unsigned dst_island = islandOf_[next];
+    if (dst_island != island) {
+        // Handing the packet over at the island boundary: the event
+        // resumes on the neighbor's heap after its next inbox drain.
+        // Conservative-quantum guarantee: at >= now + kHopLatency + 1
+        // (ser >= 1 for the 8-byte header), so with quanta of
+        // kHopLatency + 1 cycles the event is never already overdue
+        // when the neighbor picks it up.
+        Packet moved = std::move(pkt);
+        sh.freeSlots.push_back(packet_index);
+        sh.outbox[dst_island].push_back(
+            {at, next, false, std::move(moved)});
+        return;
+    }
+    sh.events.push({at, packet_index, next, laneKeyOf(pkt)});
 }
 
 void
 TorusNoc::tick(Cycles now)
 {
-    while (!events_.empty() && events_.top().at <= now) {
-        const Event ev = events_.top();
-        events_.pop();
-        advance(ev.packetIndex, ev.node, ev.at);
+    vip_assert(shards_.size() == 1,
+               "tick() is the serial path; islands use tickIsland()");
+    tickIsland(0, now);
+}
+
+void
+TorusNoc::tickIsland(unsigned island, Cycles now)
+{
+    auto &events = shards_[island].events;
+    while (!events.empty() && events.top().at <= now) {
+        const Event ev = events.top();
+        events.pop();
+        advance(island, ev.packetIndex, ev.node, ev.at);
+    }
+}
+
+Cycles
+TorusNoc::nextEventAt(Cycles now) const
+{
+    Cycles next = kIdleForever;
+    for (unsigned i = 0; i < shards_.size(); ++i)
+        next = std::min(next, islandNextEventAt(i, now));
+    return next;
+}
+
+Cycles
+TorusNoc::islandNextEventAt(unsigned island, Cycles now) const
+{
+    const auto &events = shards_[island].events;
+    if (events.empty())
+        return kIdleForever;
+    return std::max(events.top().at, now);
+}
+
+bool
+TorusNoc::islandIdle(unsigned island) const
+{
+    const Shard &sh = shards_[island];
+    if (!sh.events.empty())
+        return false;
+    for (const auto &box : sh.outbox)
+        if (!box.empty())
+            return false;
+    return true;
+}
+
+bool
+TorusNoc::idle() const
+{
+    for (unsigned i = 0; i < shards_.size(); ++i)
+        if (!islandIdle(i))
+            return false;
+    return true;
+}
+
+bool
+TorusNoc::drainInboxes(unsigned island)
+{
+    bool any = false;
+    Shard &mine = shards_[island];
+    for (Shard &src : shards_) {
+        auto &box = src.outbox[island];
+        for (Mail &m : box) {
+            const Cycles at = m.at;
+            const unsigned node = m.node;
+            const bool reinject = m.reinject;
+            const std::size_t slot = allocSlot(mine, std::move(m.pkt));
+            Packet &p = mine.packets[slot];
+            if (reinject) {
+                // Retransmission handed back by the destination
+                // island: occupy our injection lane now that we own
+                // the packet again.
+                const unsigned bytes = p.payloadBytes + kHeaderBytes;
+                const Cycles start = occupy(
+                    linkId(p.src,
+                           static_cast<Port>(InjectBase + p.srcLane)),
+                    at, bytes);
+                const Cycles ser =
+                    (bytes + kBytesPerCycle - 1) / kBytesPerCycle;
+                mine.events.push(
+                    {start + ser, slot, p.src, laneKeyOf(p)});
+            } else {
+                mine.events.push({at, slot, node, laneKeyOf(p)});
+            }
+            any = true;
+        }
+        box.clear();
+    }
+    return any;
+}
+
+std::uint64_t
+TorusNoc::islandDelivered(unsigned island) const
+{
+    return shards_[island].delivered;
+}
+
+std::uint64_t
+TorusNoc::delivered() const
+{
+    std::uint64_t n = statDelivered_.value();
+    for (const Shard &sh : shards_)
+        n += sh.delivered;
+    return n;
+}
+
+std::uint64_t
+TorusNoc::talliedLatency() const
+{
+    std::uint64_t lat = 0;
+    for (const Shard &sh : shards_)
+        lat += sh.latencyTotal;
+    return lat;
+}
+
+std::size_t
+TorusNoc::inFlight() const
+{
+    std::size_t n = 0;
+    for (const Shard &sh : shards_) {
+        n += sh.packets.size() - sh.freeSlots.size();
+        for (const auto &box : sh.outbox)
+            n += box.size();
+    }
+    return n;
+}
+
+void
+TorusNoc::flushIslandStats()
+{
+    for (Shard &sh : shards_) {
+        statDelivered_ += sh.delivered;
+        statBytes_ += sh.bytes;
+        statLatency_ += sh.latencyTotal;
+        statHops_ += sh.hops;
+        latencyHist_.merge(sh.hist);
+        sh.delivered = sh.bytes = sh.latencyTotal = sh.hops = 0;
+        sh.hist.reset();
     }
 }
 

@@ -760,7 +760,7 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         // correction) happen before the data is copied, so corruption
         // is architecturally visible exactly when ECC misses it.
         if (injector_)
-            injector_->onDramRead(dram, bytes);
+            injector_->onDramRead(dram, bytes, cfg_.peId);
         dram_.copyTo(dram, scratchpad_, sp, bytes);
         return true;
       }
@@ -789,7 +789,7 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         }
         // Sign-extended functional load at issue.
         if (injector_)
-            injector_->onDramRead(dram, w);
+            injector_->onDramRead(dram, w, cfg_.peId);
         std::int64_t v = 0;
         switch (inst.width) {
           case ElemWidth::W8: v = dram_.load<std::int8_t>(dram); break;

@@ -99,8 +99,12 @@ VipServer::immediate(std::string response, bool is_error)
 VipServer::PendingPtr
 VipServer::dispatchRun(const Json &spec_json)
 {
-    const RunSpec spec = RunSpec::fromJson(spec_json);
+    RunSpec spec = RunSpec::fromJson(spec_json);
     const std::uint64_t key = spec.fingerprint();
+    // Host execution default, applied after fingerprinting: island
+    // count never changes the result bytes, only who computes them.
+    if (spec.config.islands == 1)
+        spec.config.islands = opts_.defaultIslands;
 
     {
         LockGuard lock(mutex_);

@@ -85,6 +85,15 @@ struct ServeOptions
 
     /** Result-cache capacity in entries; 0 disables caching. */
     std::size_t cacheEntries = 256;
+
+    /**
+     * Island count applied to run requests that don't set one
+     * (config.islands == 1). A host-side execution knob, not part of
+     * the request: results are bit-identical for any island count, so
+     * the cache key is computed before the default is applied and a
+     * cached response stays valid across default changes.
+     */
+    unsigned defaultIslands = 1;
 };
 
 class VipServer

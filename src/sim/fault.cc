@@ -167,6 +167,7 @@ void
 FaultInjector::record(FaultSite::Kind kind, std::uint64_t a,
                       std::uint64_t b)
 {
+    // Caller holds mu_ (VIP_REQUIRES in the header).
     if (sites_.size() >= kMaxRecordedSites) {
         sitesTruncated_ = true;
         return;
@@ -211,23 +212,30 @@ FaultInjector::scrubWord(Addr word)
 }
 
 void
-FaultInjector::onDramRead(Addr addr, std::uint64_t bytes)
+FaultInjector::onDramRead(Addr addr, std::uint64_t bytes, unsigned src)
 {
     if (bytes == 0)
         return;
+    LockGuard lock(mu_);
     const Addr first = addr & ~Addr{7};
     const Addr last = (addr + bytes - 1) & ~Addr{7};
     const bool roll = plan_.dramReadBitFlipRate > 0.0;
     const bool scrub = plan_.eccEnabled && !flipped_.empty();
-    if (!roll && !scrub) {
-        wordReads_ += (last - first) / 8 + 1;
+    if (!roll && !scrub)
         return;
-    }
     for (Addr word = first;; word += 8) {
-        ++wordReads_;
         if (roll) {
+            // The event identity is (word, reader, how many times this
+            // reader has read this word): program order per reader, so
+            // deterministic under any host-thread interleaving. The
+            // reader id shares the low 12 bits of the map key and the
+            // dice's b operand with the ordinal shifted above it.
+            const std::uint64_t key =
+                ((word >> 3) << 12) | (src & 0xfffu);
+            const std::uint64_t ordinal = ++readOrdinal_[key];
             const std::uint64_t dice =
-                diceFor(FaultSite::Kind::DramRead, word, wordReads_);
+                diceFor(FaultSite::Kind::DramRead, word,
+                        (ordinal << 12) | (src & 0xfffu));
             if (hit(dice, plan_.dramReadBitFlipRate)) {
                 const unsigned word_bit =
                     static_cast<unsigned>(mix64(dice) % 64);
@@ -247,7 +255,10 @@ FaultInjector::onDramRead(Addr addr, std::uint64_t bytes)
 void
 FaultInjector::onDramWrite(Addr addr, std::uint64_t bytes)
 {
-    if (bytes == 0 || flipped_.empty())
+    if (bytes == 0)
+        return;
+    LockGuard lock(mu_);
+    if (flipped_.empty())
         return;
     const Addr first = addr & ~Addr{7};
     const Addr last = (addr + bytes - 1) & ~Addr{7};
@@ -276,6 +287,7 @@ bool
 FaultInjector::retentionStrike(unsigned vault, std::uint64_t refreshIndex,
                                std::uint64_t *entropy)
 {
+    // Pure hash of immutable state (plan_); no lock needed.
     const std::uint64_t dice =
         diceFor(FaultSite::Kind::Retention, vault, refreshIndex);
     if (!hit(dice, plan_.retentionErrorRate))
@@ -287,6 +299,7 @@ FaultInjector::retentionStrike(unsigned vault, std::uint64_t refreshIndex,
 void
 FaultInjector::plantRetentionFlip(Addr addr, unsigned bit)
 {
+    LockGuard lock(mu_);
     toggleAndRecord(addr, bit);
     ++stats_.retentionErrors;
     record(FaultSite::Kind::Retention, addr, bit);
@@ -297,6 +310,7 @@ FaultInjector::onNocArrival(std::uint64_t seq, unsigned attempts)
 {
     if (hit(diceFor(FaultSite::Kind::NocDrop, seq, attempts),
             plan_.nocDropRate)) {
+        LockGuard lock(mu_);
         ++stats_.nocDropped;
         ++stats_.nocRetransmits;
         record(FaultSite::Kind::NocDrop, seq, attempts);
@@ -304,6 +318,7 @@ FaultInjector::onNocArrival(std::uint64_t seq, unsigned attempts)
     }
     if (hit(diceFor(FaultSite::Kind::NocCorrupt, seq, attempts),
             plan_.nocCorruptRate)) {
+        LockGuard lock(mu_);
         ++stats_.nocCorrupted;
         ++stats_.nocRetransmits;
         record(FaultSite::Kind::NocCorrupt, seq, attempts);
@@ -321,6 +336,7 @@ FaultInjector::spFlip(unsigned peId, std::uint64_t instIndex,
     if (!hit(dice, plan_.spBitFlipRate))
         return -1;
     const auto bit = static_cast<long>(mix64(dice) % bitSpace);
+    LockGuard lock(mu_);
     ++stats_.spBitFlips;
     record(FaultSite::Kind::SpFlip, peId,
            static_cast<std::uint64_t>(bit));
@@ -330,6 +346,7 @@ FaultInjector::spFlip(unsigned peId, std::uint64_t instIndex,
 std::vector<std::pair<Addr, std::uint64_t>>
 FaultInjector::outstandingFlips() const
 {
+    LockGuard lock(mu_);
     std::vector<std::pair<Addr, std::uint64_t>> flips;
     flips.reserve(flipped_.size());
     // Hash-order scan only collects entries; callers see the sorted
@@ -343,6 +360,7 @@ FaultInjector::outstandingFlips() const
 void
 FaultInjector::plantBitFlip(Addr addr, unsigned bit)
 {
+    LockGuard lock(mu_);
     toggleAndRecord(addr, bit);
     ++stats_.dramBitFlips;
     record(FaultSite::Kind::Planted, addr, bit);

@@ -173,6 +173,10 @@ SystemConfig::toJson() const
     j.set("nocY", nocY);
     j.set("watchdogCycles", static_cast<std::uint64_t>(watchdogCycles));
     j.set("fastForward", fastForward);
+    // Only serialize a non-default island count: the serial default
+    // stays absent so pre-island RunSpec fingerprints are unchanged.
+    if (islands != 1)
+        j.set("islands", islands);
     if (faults.enabled)
         j.set("faults", faults.toString());
     return j;
@@ -250,6 +254,7 @@ SystemConfig::fromJson(const Json &j)
     });
     root.key("watchdogCycles", intoUnsigned(cfg.watchdogCycles));
     root.key("fastForward", intoBool(cfg.fastForward));
+    root.key("islands", intoUnsigned(cfg.islands));
     root.key("faults", [&cfg](const Json &v) {
         cfg.faults = FaultPlan::parse(v.asString());
     });

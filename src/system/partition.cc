@@ -1,0 +1,46 @@
+#include "system/partition.hh"
+
+#include <string>
+
+#include "sim/error.hh"
+#include "sim/logging.hh"
+
+namespace vip {
+
+void
+validateIslandCount(unsigned islands, unsigned noc_x)
+{
+    if (islands == 0) {
+        throw ConfigError(
+            "islands = 0; at least one island is required (1 = the "
+            "serial path)");
+    }
+    if (noc_x % islands != 0) {
+        throw ConfigError(
+            "islands = " + std::to_string(islands) +
+            "; must divide the NoC X dimension (nocX = " +
+            std::to_string(noc_x) +
+            ") so island boundaries fall on torus column cuts");
+    }
+}
+
+IslandPartition
+IslandPartition::make(unsigned islands, unsigned noc_x, unsigned noc_y)
+{
+    vip_assert(islands >= 1 && noc_x % islands == 0,
+               "unvalidated island count");
+    IslandPartition p;
+    p.islands = islands;
+    const unsigned nodes = noc_x * noc_y;
+    const unsigned cols_per_island = noc_x / islands;
+    p.islandOfNode.resize(nodes);
+    p.nodesOf.resize(islands);
+    for (unsigned n = 0; n < nodes; ++n) {
+        const unsigned island = (n % noc_x) / cols_per_island;
+        p.islandOfNode[n] = island;
+        p.nodesOf[island].push_back(n);  // ascending by construction
+    }
+    return p;
+}
+
+} // namespace vip

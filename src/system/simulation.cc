@@ -75,8 +75,11 @@ RunResult::toJson() const
     Json j = Json::object();
     j.set("cycles", static_cast<std::uint64_t>(cycles));
     j.set("haltedCleanly", haltedCleanly);
-    j.set("fastForwardedCycles",
-          static_cast<std::uint64_t>(fastForwardedCycles));
+    // fastForwardedCycles stays on the struct (tools/logs read it) but
+    // out of the JSON: it is a host-side tuning observable, and in
+    // island mode its per-island aggregate differs from the serial
+    // value — keeping it here would break the bit-identical-RunResult
+    // contract island_equivalence_test pins.
     j.set("memRequestPoolHighWater", memRequestPoolHighWater);
     Json allocs = Json::array();
     for (const std::uint64_t a : peRequestAllocations)

@@ -9,6 +9,13 @@
  * torus hops if remote, ejection port), queues at the vault, is
  * serviced by the DRAM model, and a response travels back before the
  * PE observes completion.
+ *
+ * With cfg.islands > 1 a run shards across host threads: the machine
+ * is cut into islands of NoC columns (system/partition.hh), each
+ * island's components tick on their own thread in conservative quanta
+ * (sim/island.hh), and per-island state merges in fixed island order
+ * after the join — producing bit-identical results to islands == 1
+ * (see docs/INTERNALS.md "Island partitioning & conservative quanta").
  */
 
 #ifndef VIP_SYSTEM_SYSTEM_HH
@@ -25,6 +32,7 @@
 #include "sim/clocked.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "system/partition.hh"
 
 namespace vip {
 
@@ -52,6 +60,16 @@ struct SystemConfig
      */
     bool fastForward = true;
 
+    /**
+     * Host threads one run may use: the machine is cut into this many
+     * islands of NoC columns that tick concurrently (see file
+     * comment). Must divide nocX. 1 (the default) is the serial path
+     * and is byte-identical to every other value — islands changes
+     * host time, never the simulation — so it is a host knob like
+     * fastForward, not part of the machine being modelled.
+     */
+    unsigned islands = 1;
+
     /** Fault-injection campaign; disabled (and costless) by default. */
     FaultPlan faults;
 
@@ -59,8 +77,9 @@ struct SystemConfig
      * The wire form: every knob above as a JSON object (nested
      * "mem"/"pe" sections mirroring the struct layout; the fault
      * plan as its canonical spec string under "faults", omitted when
-     * injection is disabled). fromJson(toJson(cfg)) reproduces the
-     * config exactly.
+     * injection is disabled; "islands" likewise omitted when 1, so
+     * pre-island RunSpec fingerprints are unchanged).
+     * fromJson(toJson(cfg)) reproduces the config exactly.
      */
     Json toJson() const;
 
@@ -106,6 +125,9 @@ class VipSystem
     TorusNoc &noc() { return noc_; }
     const SystemConfig &config() const { return cfg_; }
 
+    /** The machine's island cut (islands == 1: one island, all nodes). */
+    const IslandPartition &partition() const { return partition_; }
+
     /** Start address of vault @p v's local DRAM region. */
     Addr
     vaultBase(unsigned v) const
@@ -113,7 +135,7 @@ class VipSystem
         return hmc_.mapper().vaultBase(v);
     }
 
-    /** Advance the whole machine one cycle. */
+    /** Advance the whole machine one cycle (serial path only). */
     void tick();
 
     /**
@@ -121,10 +143,15 @@ class VipSystem
      * the memory system has drained, or @p max_cycles elapse.
      * @return total cycles simulated so far.
      *
-     * A VipSystem is confined to one host thread at a time: nothing in
-     * the machine is synchronized, so concurrent run()/tick() calls on
-     * the same instance are a caller bug (parallel sweeps must build
-     * one system per job — see sim/sweep.hh). run() asserts this.
+     * With cfg.islands == 1 the run is confined to the calling host
+     * thread: nothing in the machine is synchronized, so concurrent
+     * run()/tick() calls on the same instance are a caller bug
+     * (parallel sweeps must build one system per job — see
+     * sim/sweep.hh). run() asserts this. With islands > 1 the run
+     * *internally* spawns islands - 1 worker threads, but the
+     * confinement contract for callers is unchanged: one run() at a
+     * time, and the per-island state is thread-confined to each
+     * island's thread between barriers.
      */
     Cycles run(Cycles max_cycles = 0);
 
@@ -132,7 +159,12 @@ class VipSystem
 
     bool allIdle() const;
 
-    /** What the event-horizon fast-forward skipped so far. */
+    /**
+     * What the event-horizon fast-forward skipped so far. In island
+     * mode the numbers aggregate per-island horizons (an island
+     * warping 100 cycles counts 100 regardless of what the others
+     * did), so they measure work saved, not wall-clock cycles.
+     */
     const FastForwardStats &fastForwardStats() const { return ff_; }
 
     /**
@@ -171,45 +203,30 @@ class VipSystem
     void deliverToVault(unsigned vault, std::unique_ptr<MemRequest> req);
     void onVaultComplete(unsigned vault, std::unique_ptr<MemRequest> req);
 
-    /**
-     * Park a request travelling inside a NoC packet; the slot table —
-     * not the packet's copyable onArrive closure — owns the
-     * descriptor. This keeps teardown leak-free when the machine is
-     * destroyed with packets still in flight (a deadlock throw or an
-     * expired cycle budget), which a raw release() into the closure
-     * could not: destroying a std::function does not free what a
-     * captured raw pointer points at.
-     *
-     * Concurrency contract: the slot table, the free list, and the
-     * per-PE MemRequestPools are *thread-confined*, not
-     * mutex-protected — they are only ever touched from the one host
-     * thread driving this VipSystem (run() asserts the confinement
-     * via running_; see "Static analysis & concurrency contracts" in
-     * docs/INTERNALS.md). Do not share them across threads; a future
-     * intra-run-parallelism PR must partition them per island, not
-     * add a lock here.
-     */
-    std::size_t
-    parkRequest(std::unique_ptr<MemRequest> req)
-    {
-        std::size_t slot;
-        if (nocParkedFree_.empty()) {
-            slot = nocParked_.size();
-            nocParked_.emplace_back();
-        } else {
-            slot = nocParkedFree_.back();
-            nocParkedFree_.pop_back();
-        }
-        nocParked_[slot] = std::move(req);
-        return slot;
-    }
+    /** Drain vault @p v's parked ingress queue into freed slots. */
+    void drainIngress(unsigned v);
 
-    std::unique_ptr<MemRequest>
-    unparkRequest(std::size_t slot)
+    // ---- island mode (cfg_.islands > 1) ----------------------------
+    Cycles islandRun(Cycles deadline);
+    void tickIsland(unsigned island, Cycles now);
+    bool islandIdle(unsigned island) const;
+    Cycles islandNextEventAt(unsigned island, Cycles now) const;
+    std::uint64_t islandProgress(unsigned island) const;
+    void fastForwardIsland(unsigned island, Cycles from, Cycles to);
+    void catchUpIsland(unsigned island, Cycles until);
+
+    /**
+     * The current cycle as seen by @p vault's island: the per-island
+     * tick cursor while that island's thread is inside a quantum, the
+     * global clock otherwise. Request/response routing runs on island
+     * threads and must timestamp packets with *its* island's time.
+     */
+    Cycles
+    localNow(unsigned vault) const
     {
-        auto req = std::move(nocParked_[slot]);
-        nocParkedFree_.push_back(slot);
-        return req;
+        if (cfg_.islands == 1)
+            return now_;
+        return islandNow_[partition_.islandOf(vault)].v;
     }
 
     /**
@@ -237,26 +254,41 @@ class VipSystem
     std::vector<std::unique_ptr<Pe>> pes_;
     std::unique_ptr<FaultInjector> injector_;
 
-    /** Requests in flight inside NoC packets (see parkRequest). */
-    std::vector<std::unique_ptr<MemRequest>> nocParked_;
-    std::vector<std::size_t> nocParkedFree_;
+    /** The island cut (a single all-nodes island when islands == 1). */
+    IslandPartition partition_;
 
-    /** Requests that reached their vault but found its queue full. */
+    /** Requests that reached their vault but found its queue full.
+     *  Per-vault, hence island-confined like the vaults themselves. */
     std::vector<std::deque<std::unique_ptr<MemRequest>>> ingress_;
     IngressDrain ingressDrain_{*this};
 
-    /** Every tickable unit, in the machine's tick order. */
+    /** Every tickable unit, in the machine's tick order (serial path;
+     *  island threads tick the same components in the same per-node
+     *  order, restricted to their own island). */
     std::vector<Clocked *> clocked_;
 
     FastForwardStats ff_;
 
+    /** Per-island fast-forward tallies, merged into ff_ (in island
+     *  order) after the threads join. */
+    std::vector<FastForwardStats> ffIsland_;
+
+    /** Per-island tick cursors for localNow(); cache-line padded —
+     *  each island's thread rewrites its own entry every tick. */
+    struct alignas(64) PaddedCycles
+    {
+        Cycles v = 0;
+    };
+    std::vector<PaddedCycles> islandNow_;
+
     Cycles now_ = 0;
 
-    /** Runtime check of the one-thread-per-system invariant (see
-     *  run()): the machine's state is confined, not synchronized, so
-     *  concurrent entry is a caller bug, caught here instead of as a
-     *  silent race. TSan builds (-DVIP_SANITIZE=thread) verify the
-     *  confinement holds in the parallel sweep and serve paths. */
+    /** Runtime check of the one-run-at-a-time invariant (see run()):
+     *  the machine's state is confined (per thread, or per island
+     *  between barriers), not synchronized, so concurrent entry is a
+     *  caller bug, caught here instead of as a silent race. TSan
+     *  builds (-DVIP_SANITIZE=thread) verify the confinement holds in
+     *  the sweep, serve, and island paths. */
     std::atomic<bool> running_{false};
 };
 

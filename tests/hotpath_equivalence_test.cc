@@ -86,7 +86,13 @@ TEST(HotpathEquivalence, BpSweepFourPes)
                 BpSweepJob{SweepDir::Right, pe * per, (pe + 1) * per}));
         }
         sys.run(50'000'000);
-    }, Golden{2043, 3064, 8335395983873963827ull});
+        // Cycles re-pinned (2043 -> 2048) when NoC events gained the
+        // canonical (cycle, node, lane key) total order for island
+        // determinism: same-cycle deliveries at one router now tie-break
+        // by packet identity instead of heap happenstance, which shifts
+        // link-contention timing slightly. Instructions and the DRAM
+        // digest are order-invariant and did not move.
+    }, Golden{2048, 3064, 8335395983873963827ull});
 }
 
 TEST(HotpathEquivalence, ConvSingleShard)
@@ -209,7 +215,9 @@ TEST(HotpathEquivalence, FcPartialThenAccum)
         acc.chunk = 32;
         sys.pe(0).loadProgram(genFcAccum(acc));
         sys.run(50'000'000);
-    }, Golden{3676, 3592, 2280018211753887088ull});
+       // Cycles re-pinned (3676 -> 3667) with the canonical NoC event
+       // order (see BpSweepFourPes); instructions/digest unchanged.
+    }, Golden{3667, 3592, 2280018211753887088ull});
 }
 
 } // namespace

@@ -1,0 +1,19 @@
+// Fixture: the sanctioned annotated wrappers from sim/mutex.hh.
+#include "sim/mutex.hh"
+
+vip::Mutex gate;
+vip::CondVar ready;
+
+void
+waitReady(bool &flag)
+{
+    vip::LockGuard lock(gate);
+    ready.wait(lock, [&flag] { return flag; });
+}
+
+void
+setReady(bool &flag)
+{
+    vip::LockGuard lock(gate);
+    flag = true;
+}

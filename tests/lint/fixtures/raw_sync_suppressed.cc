@@ -1,0 +1,11 @@
+// Fixture: a sanctioned raw primitive (e.g. interop with a foreign
+// API that hands out std::unique_lock) under an explicit allow.
+#include <mutex>
+
+// Adopting a lock a third-party callback API already holds.
+void
+adopt(std::mutex &theirs)  // vip-lint: allow(raw-sync)
+{
+    std::lock_guard<std::mutex> lock(theirs,  // vip-lint: allow(raw-sync)
+                                     std::adopt_lock);
+}

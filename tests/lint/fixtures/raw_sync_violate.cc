@@ -1,0 +1,21 @@
+// Fixture: raw std synchronization the thread-safety analysis cannot
+// see through.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex gate;
+std::condition_variable ready;
+
+void
+waitReady(bool &flag)
+{
+    std::unique_lock<std::mutex> lock(gate);
+    ready.wait(lock, [&flag] { return flag; });
+}
+
+void
+setReady(bool &flag)
+{
+    std::lock_guard<std::mutex> lock(gate);
+    flag = true;
+}

@@ -42,6 +42,9 @@ CASES = {
     "unordered_iter_violate.cc": (1, {"unordered-iter": 2}),
     "unordered_iter_clean.cc": (0, {}),
     "unordered_iter_suppressed.cc": (0, {}),
+    "raw_sync_violate.cc": (1, {"raw-sync": 4}),
+    "raw_sync_clean.cc": (0, {}),
+    "raw_sync_suppressed.cc": (0, {}),
     "stat_name_violate.cc": (1, {"stat-name": 3}),
     "stat_name_clean.cc": (0, {}),
     "stat_name_suppressed.cc": (0, {}),

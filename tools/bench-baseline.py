@@ -16,6 +16,17 @@ cycles per host second, so their entries carry the ISSUE-facing
 triple (cycles, hostSeconds, simCyclesPerHostSecond); the rest record
 wall time only. Run both labels on the same quiet machine — the file
 documents a ratio, not an absolute.
+
+A second mode measures island partitioning (system/partition.hh) into
+BENCH_islands.json — serial versus 2- and 4-island host time on the
+island micro-benchmark and the table4_cnn sweep:
+
+    tools/bench-baseline.py --mode islands --build build-release
+
+Island speedup needs real cores: the file records the host's thread
+count, and on a host with fewer threads than islands the ratios
+document barrier overhead, not speedup (the warning every tool prints
+in that situation).
 """
 
 import argparse
@@ -60,28 +71,102 @@ def run_micro(build_dir):
     return results
 
 
-def run_sweep(build_dir):
+def run_sweep(build_dir, islands=1):
     exe = os.path.join(build_dir, "bench", "table4_cnn")
     start = time.monotonic()
-    subprocess.run([exe, SWEEP_FRAC, "--jobs", "1"], check=True,
-                   capture_output=True, text=True)
+    subprocess.run([exe, SWEEP_FRAC, "--jobs", "1",
+                    "--islands", str(islands)],
+                   check=True, capture_output=True, text=True)
     return {"hostSeconds": time.monotonic() - start,
-            "frac": float(SWEEP_FRAC), "jobs": 1}
+            "frac": float(SWEEP_FRAC), "jobs": 1, "islands": islands}
+
+
+def run_islands(build_dir, out_path):
+    """Record serial vs 2/4-island host time into BENCH_islands.json."""
+    exe = os.path.join(build_dir, "bench", "micro_components")
+    out = subprocess.run(
+        [exe, "--benchmark_filter=BM_IslandStreamCopy",
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True).stdout
+    micro = {}
+    for bench in json.loads(out)["benchmarks"]:
+        if bench.get("run_type") == "aggregate":
+            continue
+        secs = bench["real_time"] * {"ns": 1e-9, "us": 1e-6,
+                                     "ms": 1e-3, "s": 1.0}[
+                                         bench["time_unit"]]
+        micro[bench["name"]] = {
+            "hostSeconds": secs,
+            "simCyclesPerHostSecond": bench.get("items_per_second"),
+        }
+
+    sweep = {f"islands{n}": run_sweep(build_dir, islands=n)
+             for n in (1, 2, 4)}
+
+    def ratio(base, other):
+        return round(base / other, 3) if other > 0 else None
+
+    doc = {
+        "host": {"threads": os.cpu_count()},
+        "micro": micro,
+        "sweep": {"table4_cnn": sweep},
+        "speedup": {
+            # serial time / N-island time: > 1 means islands won.
+            "BM_IslandStreamCopy": {
+                str(n): ratio(
+                    micro["BM_IslandStreamCopy/1"]["hostSeconds"],
+                    micro[f"BM_IslandStreamCopy/{n}"]["hostSeconds"])
+                for n in (2, 4)
+                if f"BM_IslandStreamCopy/{n}" in micro
+            },
+            "table4_cnn": {
+                str(n): ratio(sweep["islands1"]["hostSeconds"],
+                              sweep[f"islands{n}"]["hostSeconds"])
+                for n in (2, 4)
+            },
+        },
+    }
+    if (os.cpu_count() or 1) < 4:
+        doc["note"] = (
+            "host has fewer threads than islands; ratios below 1 "
+            "measure barrier overhead under oversubscription, not the "
+            "multi-core speedup (re-record on a >= 4-thread host)")
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote island numbers to {out_path}")
+    for name, ratios in doc["speedup"].items():
+        print(f"  {name}: " + ", ".join(
+            f"{n} islands -> {r}x" for n, r in sorted(ratios.items())))
+    return 0
 
 
 def main():
     ap = argparse.ArgumentParser(
-        description="record host-perf numbers into BENCH_hotpath.json")
+        description="record host-perf numbers into BENCH_*.json")
     ap.add_argument("--build", default="build-release",
                     help="Release build directory (default: %(default)s)")
-    ap.add_argument("--label", required=True,
+    ap.add_argument("--mode", default="hotpath",
+                    choices=["hotpath", "islands"],
+                    help="hotpath: BENCH_hotpath.json baseline/optimized "
+                         "columns; islands: BENCH_islands.json serial vs "
+                         "2/4-island snapshot")
+    ap.add_argument("--label",
                     choices=["baseline", "optimized"],
-                    help="which column of the file to (over)write")
-    ap.add_argument("--out",
-                    default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"))
+                    help="which column of the file to (over)write "
+                         "(hotpath mode; required there)")
+    ap.add_argument("--out", default=None,
+                    help="output file (default: BENCH_<mode>.json)")
     ap.add_argument("--skip-sweep", action="store_true",
                     help="skip the table4_cnn end-to-end sweep")
     args = ap.parse_args()
+
+    if args.out is None:
+        args.out = os.path.join(REPO_ROOT, f"BENCH_{args.mode}.json")
+    if args.mode == "islands":
+        return run_islands(args.build, args.out)
+    if args.label is None:
+        ap.error("--label is required in hotpath mode")
 
     merged = {"benchmarks": {}, "sweep": {}}
     if os.path.exists(args.out):

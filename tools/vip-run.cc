@@ -25,6 +25,11 @@
  *     --inject SPEC        run a fault-injection campaign (see
  *                          sim/fault.hh); adds a "faults" section
  *     --max-cycles N       simulation budget (default 100M)
+ *     --vaults N           machine size (default 1 vault; the torus
+ *                          shape is derived with nocDimsFor)
+ *     --islands N          shard the run across N host threads
+ *                          (bit-identical results; N must divide the
+ *                          NoC X dimension)
  *     --no-fast-forward    tick every cycle instead of warping over
  *                          provably dead ones (same results, slower)
  *     --strict             panic on vector timing hazards
@@ -51,6 +56,7 @@
 #include "sim/error.hh"
 #include "sim/fault.hh"
 #include "sim/json.hh"
+#include "sim/sweep.hh"
 #include "system/runspec.hh"
 
 using namespace vip;
@@ -65,12 +71,13 @@ usage()
         "usage: vip-run <prog.s> [--reg N=V] [--dram A=V] "
         "[--dump-dram A,N]\n"
         "       [--dump-sp A,N] [--dump-regs] [--dump-spec] [--stats]\n"
-        "       [--max-cycles N] [--strict] [--trace] %s\n%s",
+        "       [--max-cycles N] [--vaults N] [--strict] [--trace] "
+        "%s\n%s",
         cli::commonUsage(cli::kJsonStats | cli::kInject |
-                         cli::kFastForward)
+                         cli::kIslands | cli::kFastForward)
             .c_str(),
         cli::commonHelp(cli::kJsonStats | cli::kInject |
-                        cli::kFastForward)
+                        cli::kIslands | cli::kFastForward)
             .c_str());
     return 2;
 }
@@ -116,6 +123,7 @@ struct Options
     bool dumpRegs = false, dumpSpec = false;
     bool wantStats = false, strict = false, trace = false;
     Cycles maxCycles = 100'000'000;
+    unsigned vaults = 1;
 };
 
 /** The flags as a RunSpec — the serializable half of the run. */
@@ -123,9 +131,10 @@ RunSpec
 specFromOptions(const Options &opt, const std::string &source)
 {
     RunSpec spec;
-    spec.config = makeSystemConfig(1, 1);
+    spec.config = makeSystemConfig(opt.vaults, 1);
     spec.config.pe.strictHazards = opt.strict;
     spec.config.fastForward = opt.common.fastForward;
+    spec.config.islands = opt.common.islands;
     if (!opt.common.injectSpec.empty())
         spec.config.faults = FaultPlan::parse(opt.common.injectSpec);
     spec.programs.push_back({0, source});
@@ -240,8 +249,8 @@ run(const Options &opt)
 int
 main(int argc, char **argv)
 {
-    constexpr unsigned kFlags =
-        cli::kJsonStats | cli::kInject | cli::kFastForward;
+    constexpr unsigned kFlags = cli::kJsonStats | cli::kInject |
+                                cli::kIslands | cli::kFastForward;
     Options opt;
     for (int i = 1; i < argc; ++i) {
         if (cli::consumeCommon(argc, argv, i, kFlags, opt.common))
@@ -286,6 +295,8 @@ main(int argc, char **argv)
             opt.trace = true;
         } else if (arg == "--max-cycles") {
             opt.maxCycles = num(next());
+        } else if (arg == "--vaults") {
+            opt.vaults = static_cast<unsigned>(num(next()));
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -297,6 +308,16 @@ main(int argc, char **argv)
     }
     if (opt.sourcePath.empty())
         return usage();
+
+    bool oversubscribed = false;
+    hostThreadBudget(1, opt.common.islands, &oversubscribed);
+    if (oversubscribed) {
+        std::fprintf(stderr,
+                     "vip-run: warning: --islands %u exceeds the "
+                     "host's %u hardware threads; expect slowdown, "
+                     "not speedup\n",
+                     opt.common.islands, SweepEngine::hardwareJobs());
+    }
 
     try {
         return run(opt);

@@ -20,6 +20,9 @@
  * Options:
  *   --jobs N     worker pool size (default 1: inline, deterministic
  *                response order timing; 0 = hardware concurrency)
+ *   --islands N  island count applied to run requests that don't set
+ *                one (default 1 = serial; results are bit-identical
+ *                either way, see system/partition.hh)
  *   --cache N    result-cache capacity in entries (default 256;
  *                0 disables caching)
  *
@@ -36,6 +39,7 @@
 
 #include "cli.hh"
 #include "serve/serve.hh"
+#include "sim/sweep.hh"
 
 #ifdef __unix__
 #include <sys/socket.h>
@@ -59,8 +63,8 @@ usage()
                  "  --socket PATH       listen on a unix socket\n"
                  "  --cache N           result-cache entries "
                  "(default 256, 0 = off)\n",
-                 cli::commonUsage(cli::kJobs).c_str(),
-                 cli::commonHelp(cli::kJobs).c_str());
+                 cli::commonUsage(cli::kJobs | cli::kIslands).c_str(),
+                 cli::commonHelp(cli::kJobs | cli::kIslands).c_str());
     return 2;
 }
 
@@ -139,7 +143,8 @@ main(int argc, char **argv)
     bool useStdin = true;
 
     for (int i = 1; i < argc; ++i) {
-        if (cli::consumeCommon(argc, argv, i, cli::kJobs, common))
+        if (cli::consumeCommon(argc, argv, i,
+                               cli::kJobs | cli::kIslands, common))
             continue;
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -164,6 +169,17 @@ main(int argc, char **argv)
     }
 
     opts.jobs = common.jobs;
+    opts.defaultIslands = common.islands;
+    bool oversubscribed = false;
+    const unsigned budget =
+        hostThreadBudget(common.jobs, common.islands, &oversubscribed);
+    if (oversubscribed) {
+        std::fprintf(stderr,
+                     "vip-serve: warning: --jobs x --islands wants %u "
+                     "host threads but the host has %u; expect "
+                     "thrashing, not throughput\n",
+                     budget, SweepEngine::hardwareJobs());
+    }
     VipServer server(opts);
 
     if (useStdin) {
