@@ -26,6 +26,9 @@ namespace {
 /** Set by --no-fast-forward; read by every run* helper below. */
 bool g_fast_forward = true;
 
+/** Set by --no-fast-path; read by every run* helper below. */
+bool g_fast_path = true;
+
 /** Set by --islands; clamped per machine shape via islandsFor(). */
 unsigned g_islands = 1;
 
@@ -46,8 +49,8 @@ islandsFor(unsigned noc_x)
 BenchOptions
 parseBenchOptions(int argc, char **argv, double default_frac)
 {
-    constexpr unsigned kFlags =
-        cli::kJobs | cli::kFastForward | cli::kIslands;
+    constexpr unsigned kFlags = cli::kJobs | cli::kFastForward |
+                                cli::kIslands | cli::kFastPath;
     BenchOptions opts;
     opts.frac = default_frac;
     cli::CommonOptions common;
@@ -67,8 +70,10 @@ parseBenchOptions(int argc, char **argv, double default_frac)
     }
     opts.jobs = common.jobs;
     opts.fastForward = common.fastForward;
+    opts.fastPath = common.fastPath;
     opts.islands = common.islands;
     g_fast_forward = common.fastForward;
+    g_fast_path = common.fastPath;
     g_islands = common.islands;
     bool oversubscribed = false;
     const unsigned budget =
@@ -150,6 +155,7 @@ runBpTilePhase(unsigned tile_w, unsigned tile_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
@@ -199,6 +205,7 @@ runBpSweepVariant(unsigned tile_w, unsigned tile_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     Simulation sim(cfg);
     MrfDramLayout layout(sim.vaultBase(), tile_w, tile_h, labels);
@@ -229,6 +236,7 @@ runConvShare(const LayerDesc &layer, unsigned vaults_active,
     vip_assert(layer.kind == LayerDesc::Kind::Conv, "not a conv layer");
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
 
@@ -330,6 +338,7 @@ runPoolShare(const LayerDesc &layer, unsigned vaults_active,
     vip_assert(layer.kind == LayerDesc::Kind::Pool, "not a pool layer");
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
@@ -372,6 +381,7 @@ runFcLayer(unsigned inputs, unsigned outputs, double row_fraction,
 {
     SystemConfig cfg = makeSystemConfig(32, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);
@@ -460,6 +470,7 @@ runConstructPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     Simulation sim(cfg);
     MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
@@ -486,6 +497,7 @@ runCopyPhase(unsigned fine_w, unsigned fine_h, unsigned labels,
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     Simulation sim(cfg);
     MrfDramLayout fine(sim.vaultBase(), fine_w, fine_h, labels);
@@ -511,6 +523,7 @@ runStreamCopy(std::uint64_t bytes_per_pe, const MemKnobs &knobs)
 {
     SystemConfig cfg = makeSystemConfig(1, 4);
     cfg.fastForward = g_fast_forward;
+    cfg.fastPath = g_fast_path;
     cfg.islands = islandsFor(cfg.nocX);
     applyKnobs(cfg.mem, knobs);
     Simulation sim(cfg);

@@ -19,11 +19,17 @@
 #include "mem/hmc.hh"
 #include "noc/torus.hh"
 #include "sim/rng.hh"
+#include "tools/cli.hh"
 #include "workloads/mrf.hh"
 #include "workloads/nn.hh"
 
 namespace vip {
 namespace {
+
+/** Set by --no-fast-path (consumed by main() before google-benchmark
+ *  sees argv); every simulated-machine bench below applies it, so the
+ *  same binary measures the interpreter and the µop replay. */
+bool g_fast_path = true;
 
 void
 BM_AssembleBpFragment(benchmark::State &state)
@@ -122,10 +128,13 @@ BENCHMARK(BM_TorusAllToOne);
 void
 BM_PeScalarLoop(benchmark::State &state)
 {
-    // Simulation rate of a PE running a tight scalar loop.
+    // Simulation rate of a PE running a tight scalar loop — the
+    // decoded-µop fast path's headline bench (run with --no-fast-path
+    // for the interpreter baseline; cycles are bit-identical).
     for (auto _ : state) {
         state.PauseTiming();
         SystemConfig cfg = makeSystemConfig(1, 1);
+        cfg.fastPath = g_fast_path;
         VipSystem sys(cfg);
         AsmBuilder b;
         b.movImm(1, 0);
@@ -150,6 +159,7 @@ BM_SimulatedBpSweep(benchmark::State &state)
     for (auto _ : state) {
         state.PauseTiming();
         SystemConfig cfg = makeSystemConfig(1, 4);
+        cfg.fastPath = g_fast_path;
         VipSystem sys(cfg);
         MrfDramLayout layout(sys.vaultBase(0), 32, 16, 8);
         for (unsigned pe = 0; pe < 4; ++pe) {
@@ -180,6 +190,7 @@ BM_FastForwardStreamCopy(benchmark::State &state)
         state.PauseTiming();
         SystemConfig cfg = makeSystemConfig(1, 1);
         cfg.fastForward = ff;
+        cfg.fastPath = g_fast_path;
         VipSystem sys(cfg);
         AsmBuilder b;
         const Addr src = sys.vaultBase(0);
@@ -230,6 +241,7 @@ BM_IslandStreamCopy(benchmark::State &state)
         state.PauseTiming();
         SystemConfig cfg = makeSystemConfig(16, 1);
         cfg.islands = islands;
+        cfg.fastPath = g_fast_path;
         VipSystem sys(cfg);
         for (unsigned v = 0; v < 16; ++v) {
             AsmBuilder b;
@@ -303,4 +315,27 @@ BENCHMARK(BM_ReferenceConvLayer);
 } // namespace
 } // namespace vip
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off the shared simulator flags before google-benchmark
+    // parses argv (it rejects flags it doesn't know).
+    vip::cli::CommonOptions common;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (vip::cli::consumeCommon(argc, argv, i, vip::cli::kFastPath,
+                                    common))
+            continue;
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+    vip::g_fast_path = common.fastPath;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

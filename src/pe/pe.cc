@@ -1,7 +1,7 @@
 #include "pe/pe.hh"
 
 #include <algorithm>
-#include <cstring>
+#include <bit>
 #include <limits>
 
 #include "sim/fault.hh"
@@ -15,244 +15,40 @@ namespace {
  *  completion event (an external wake-up) lands. */
 constexpr Cycles kNeverReady = kIdleForever;
 
-std::int64_t
-saturate(std::int64_t v, ElemWidth w)
-{
-    switch (w) {
-      case ElemWidth::W8:
-        return std::clamp<std::int64_t>(v, INT8_MIN, INT8_MAX);
-      case ElemWidth::W16:
-        return std::clamp<std::int64_t>(v, INT16_MIN, INT16_MAX);
-      case ElemWidth::W32:
-        return std::clamp<std::int64_t>(v, INT32_MIN, INT32_MAX);
-      case ElemWidth::W64:
-        return v;
-    }
-    return v;
-}
-
-std::int64_t
-redIdentity(RedOp op)
-{
-    switch (op) {
-      case RedOp::Add: return 0;
-      case RedOp::Min: return std::numeric_limits<std::int64_t>::max();
-      case RedOp::Max: return std::numeric_limits<std::int64_t>::min();
-    }
-    return 0;
-}
-
-/*
- * Width-specialized vector kernels. The interpreter used to re-dispatch
- * ElemWidth (and apply the VecOp/RedOp switches) per element; these
- * templates hoist every dispatch out of the element loop — the
- * instruction selects one fully-specialized kernel, whose inner loop is
- * branch-free element arithmetic on raw scratchpad bytes. Semantics are
- * bit-identical to the switch ladders they replace: elements are
- * sign-extended to 64 bits, operated on in 64-bit arithmetic, and
- * saturated back to the element width on store, in the same element
- * order (memcpy keeps unaligned starts well-defined — any byte address
- * may start a vector).
- */
-
-template <typename T>
+/** Scalar-class µop result — the one definition both the per-cycle
+ *  issue path and the fast-block executor evaluate. */
 inline std::int64_t
-loadElem(const std::uint8_t *p)
+scalarResult(const Uop &u, const std::uint64_t regs[])
 {
-    T v;
-    std::memcpy(&v, p, sizeof(T));
-    return static_cast<std::int64_t>(v);
-}
-
-template <typename T>
-inline void
-storeElemSat(std::uint8_t *p, std::int64_t v)
-{
-    if constexpr (sizeof(T) < sizeof(std::int64_t)) {
-        v = std::clamp<std::int64_t>(v, std::numeric_limits<T>::min(),
-                                     std::numeric_limits<T>::max());
+    switch (u.form) {
+      case ScalarForm::RR:
+        return applyScalarOp(u.sop, static_cast<std::int64_t>(regs[u.rs1]),
+                             static_cast<std::int64_t>(regs[u.rs2]));
+      case ScalarForm::RI:
+        return applyScalarOp(u.sop, static_cast<std::int64_t>(regs[u.rs1]),
+                             u.imm);
+      case ScalarForm::Imm:
+        return u.imm;
     }
-    const T t = static_cast<T>(v);
-    std::memcpy(p, &t, sizeof(T));
+    return u.imm;
 }
 
-template <VecOp op>
-inline std::int64_t
-vecOp(std::int64_t a, std::int64_t b)
+/** Branch-class µop next-pc — shared like scalarResult. */
+inline std::size_t
+branchTarget(const Uop &u, const std::uint64_t regs[], std::size_t pc)
 {
-    if constexpr (op == VecOp::Mul) return a * b;
-    if constexpr (op == VecOp::Add) return a + b;
-    if constexpr (op == VecOp::Sub) return a - b;
-    if constexpr (op == VecOp::Min) return std::min(a, b);
-    if constexpr (op == VecOp::Max) return std::max(a, b);
-    return a;  // Nop
-}
-
-template <RedOp op>
-inline std::int64_t
-redOp(std::int64_t acc, std::int64_t v)
-{
-    if constexpr (op == RedOp::Add) return acc + v;
-    if constexpr (op == RedOp::Min) return std::min(acc, v);
-    return std::max(acc, v);  // Max
-}
-
-template <typename T, VecOp op>
-void
-runVecVec(std::uint8_t *dst, const std::uint8_t *a, const std::uint8_t *b,
-          unsigned vl)
-{
-    for (unsigned i = 0; i < vl; ++i) {
-        storeElemSat<T>(dst + i * sizeof(T),
-                        vecOp<op>(loadElem<T>(a + i * sizeof(T)),
-                                  loadElem<T>(b + i * sizeof(T))));
+    if (u.op == Opcode::Jmp)
+        return static_cast<std::size_t>(u.imm);
+    const auto a = static_cast<std::int64_t>(regs[u.rs1]);
+    const auto b = static_cast<std::int64_t>(regs[u.rs2]);
+    bool taken = false;
+    switch (u.cond) {
+      case BranchCond::Lt: taken = a < b; break;
+      case BranchCond::Ge: taken = a >= b; break;
+      case BranchCond::Eq: taken = a == b; break;
+      case BranchCond::Ne: taken = a != b; break;
     }
-}
-
-template <typename T, VecOp op>
-void
-runVecScalar(std::uint8_t *dst, const std::uint8_t *a, std::int64_t scalar,
-             unsigned vl)
-{
-    for (unsigned i = 0; i < vl; ++i) {
-        storeElemSat<T>(dst + i * sizeof(T),
-                        vecOp<op>(loadElem<T>(a + i * sizeof(T)), scalar));
-    }
-}
-
-template <typename T, VecOp vop, RedOp rop>
-std::int64_t
-runMatVecRow(const std::uint8_t *row, const std::uint8_t *vec, unsigned vl)
-{
-    std::int64_t acc = redIdentity(rop);
-    for (unsigned i = 0; i < vl; ++i) {
-        const std::int64_t m = loadElem<T>(row + i * sizeof(T));
-        // applyVecOp(Nop, m, v) == m with v never loaded.
-        const std::int64_t x =
-            vop == VecOp::Nop ? m
-                              : vecOp<vop>(m, loadElem<T>(vec +
-                                                          i * sizeof(T)));
-        acc = redOp<rop>(acc, x);
-    }
-    return acc;
-}
-
-using VecVecFn = void (*)(std::uint8_t *, const std::uint8_t *,
-                          const std::uint8_t *, unsigned);
-using VecScalarFn = void (*)(std::uint8_t *, const std::uint8_t *,
-                             std::int64_t, unsigned);
-using MatVecRowFn = std::int64_t (*)(const std::uint8_t *,
-                                     const std::uint8_t *, unsigned);
-
-template <typename T>
-VecVecFn
-vecVecFnFor(VecOp op)
-{
-    switch (op) {
-      case VecOp::Mul: return &runVecVec<T, VecOp::Mul>;
-      case VecOp::Add: return &runVecVec<T, VecOp::Add>;
-      case VecOp::Sub: return &runVecVec<T, VecOp::Sub>;
-      case VecOp::Min: return &runVecVec<T, VecOp::Min>;
-      case VecOp::Max: return &runVecVec<T, VecOp::Max>;
-      case VecOp::Nop: return &runVecVec<T, VecOp::Nop>;
-    }
-    return &runVecVec<T, VecOp::Nop>;
-}
-
-VecVecFn
-vecVecFnFor(ElemWidth w, VecOp op)
-{
-    switch (w) {
-      case ElemWidth::W8: return vecVecFnFor<std::int8_t>(op);
-      case ElemWidth::W16: return vecVecFnFor<std::int16_t>(op);
-      case ElemWidth::W32: return vecVecFnFor<std::int32_t>(op);
-      case ElemWidth::W64: return vecVecFnFor<std::int64_t>(op);
-    }
-    return vecVecFnFor<std::int64_t>(op);
-}
-
-template <typename T>
-VecScalarFn
-vecScalarFnFor(VecOp op)
-{
-    switch (op) {
-      case VecOp::Mul: return &runVecScalar<T, VecOp::Mul>;
-      case VecOp::Add: return &runVecScalar<T, VecOp::Add>;
-      case VecOp::Sub: return &runVecScalar<T, VecOp::Sub>;
-      case VecOp::Min: return &runVecScalar<T, VecOp::Min>;
-      case VecOp::Max: return &runVecScalar<T, VecOp::Max>;
-      case VecOp::Nop: return &runVecScalar<T, VecOp::Nop>;
-    }
-    return &runVecScalar<T, VecOp::Nop>;
-}
-
-VecScalarFn
-vecScalarFnFor(ElemWidth w, VecOp op)
-{
-    switch (w) {
-      case ElemWidth::W8: return vecScalarFnFor<std::int8_t>(op);
-      case ElemWidth::W16: return vecScalarFnFor<std::int16_t>(op);
-      case ElemWidth::W32: return vecScalarFnFor<std::int32_t>(op);
-      case ElemWidth::W64: return vecScalarFnFor<std::int64_t>(op);
-    }
-    return vecScalarFnFor<std::int64_t>(op);
-}
-
-template <typename T, VecOp vop>
-MatVecRowFn
-matVecRowFnFor(RedOp rop)
-{
-    switch (rop) {
-      case RedOp::Add: return &runMatVecRow<T, vop, RedOp::Add>;
-      case RedOp::Min: return &runMatVecRow<T, vop, RedOp::Min>;
-      case RedOp::Max: return &runMatVecRow<T, vop, RedOp::Max>;
-    }
-    return &runMatVecRow<T, vop, RedOp::Add>;
-}
-
-template <typename T>
-MatVecRowFn
-matVecRowFnFor(VecOp vop, RedOp rop)
-{
-    switch (vop) {
-      case VecOp::Mul: return matVecRowFnFor<T, VecOp::Mul>(rop);
-      case VecOp::Add: return matVecRowFnFor<T, VecOp::Add>(rop);
-      case VecOp::Sub: return matVecRowFnFor<T, VecOp::Sub>(rop);
-      case VecOp::Min: return matVecRowFnFor<T, VecOp::Min>(rop);
-      case VecOp::Max: return matVecRowFnFor<T, VecOp::Max>(rop);
-      case VecOp::Nop: return matVecRowFnFor<T, VecOp::Nop>(rop);
-    }
-    return matVecRowFnFor<T, VecOp::Nop>(rop);
-}
-
-MatVecRowFn
-matVecRowFnFor(ElemWidth w, VecOp vop, RedOp rop)
-{
-    switch (w) {
-      case ElemWidth::W8: return matVecRowFnFor<std::int8_t>(vop, rop);
-      case ElemWidth::W16: return matVecRowFnFor<std::int16_t>(vop, rop);
-      case ElemWidth::W32: return matVecRowFnFor<std::int32_t>(vop, rop);
-      case ElemWidth::W64: return matVecRowFnFor<std::int64_t>(vop, rop);
-    }
-    return matVecRowFnFor<std::int64_t>(vop, rop);
-}
-
-std::int64_t
-applyScalarOp(ScalarOp op, std::int64_t a, std::int64_t b)
-{
-    switch (op) {
-      case ScalarOp::Add: return a + b;
-      case ScalarOp::Sub: return a - b;
-      case ScalarOp::Sll: return static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(a) << (b & 63));
-      case ScalarOp::Srl: return static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(a) >> (b & 63));
-      case ScalarOp::Sra: return a >> (b & 63);
-      case ScalarOp::And: return a & b;
-      case ScalarOp::Or: return a | b;
-      case ScalarOp::Xor: return a ^ b;
-    }
-    return a;
+    return taken ? static_cast<std::size_t>(u.imm) : pc + 1;
 }
 
 } // namespace
@@ -286,7 +82,29 @@ Pe::Pe(const PeConfig &cfg, DramStorage &dram, const AddressMapper &mapper,
              Counter(&statGroup_, "timing_hazards",
                      "reads issued inside a producer's timing shadow"),
              Counter(&statGroup_, "busy_cycles",
-                     "cycles an instruction issued")}
+                     "cycles an instruction issued")},
+      fpGroup_("pe" + std::to_string(cfg.peId) + ".fastpath"),
+      fpStats_{Counter(&fpGroup_, "uops_translated",
+                       "static instructions decoded to µops at load"),
+               Counter(&fpGroup_, "blocks_translated",
+                       "pcs from which a stall-free fast block starts"),
+               Counter(&fpGroup_, "block_runs",
+                       "fast blocks executed functionally in bulk"),
+               Counter(&fpGroup_, "fast_uops",
+                       "µops retired via the fast path"),
+               Counter(&fpGroup_, "fallback_ineligible",
+                       "fast-path attempts stopped by an ineligible µop"),
+               Counter(&fpGroup_, "fallback_regs",
+                       "fast-path attempts stopped by a not-ready live-in"),
+               Counter(&fpGroup_, "fallback_pending_load",
+                       "fast-path attempts stopped by an outstanding "
+                       "ld.reg target"),
+               Counter(&fpGroup_, "fallback_horizon",
+                       "fast-path attempts cut by the chunk cap or run "
+                       "deadline"),
+               Counter(&fpGroup_, "fallback_tracer",
+                       "fast-path attempts skipped because a tracer is "
+                       "attached")}
 {
     vip_assert(memIssue_, "PE needs a memory issue function");
 }
@@ -297,10 +115,17 @@ Pe::loadProgram(std::vector<Instruction> prog)
     vip_assert(prog.size() <= kInstBufferEntries, "program of ",
                prog.size(), " instructions exceeds the instruction buffer");
     prog_ = std::move(prog);
+    decoded_.clear();
+    if (cfg_.fastPath) {
+        decoded_ = translateProgram(prog_);
+        fpStats_.uopsTranslated += decoded_.uops.size();
+        fpStats_.blocksTranslated += decoded_.entryPoints;
+    }
     pc_ = 0;
     halted_ = prog_.empty();
     stallCounter_ = nullptr;
     stallWakeAt_ = 0;
+    fpBusyUntil_ = 0;
 }
 
 void
@@ -324,62 +149,22 @@ Pe::regReady(unsigned r, Cycles now) const
     return regReadyAt_[r] <= now;
 }
 
-unsigned
-Pe::gatingRegs(const Instruction &inst, unsigned out[3]) const
-{
-    switch (inst.op) {
-      case Opcode::SetVl:
-      case Opcode::SetMr:
-        out[0] = inst.rs1;
-        return 1;
-      case Opcode::MatVec:
-      case Opcode::VecVec:
-      case Opcode::VecScalar:
-      case Opcode::LdSram:
-      case Opcode::StSram:
-        out[0] = inst.rd;
-        out[1] = inst.rs1;
-        out[2] = inst.rs2;
-        return 3;
-      case Opcode::ScalarRR:
-      case Opcode::Branch:
-        out[0] = inst.rs1;
-        out[1] = inst.rs2;
-        return 2;
-      case Opcode::ScalarRI:
-      case Opcode::Mov:
-      case Opcode::LdReg:
-        out[0] = inst.rs1;
-        return 1;
-      case Opcode::StReg:
-        out[0] = inst.rd;
-        out[1] = inst.rs1;
-        return 2;
-      default:
-        return 0;
-    }
-}
-
 bool
-Pe::regsReady(const Instruction &inst, Cycles now) const
+Pe::regsReady(const Uop &u, Cycles now) const
 {
-    unsigned regs[3];
-    const unsigned n = gatingRegs(inst, regs);
-    for (unsigned i = 0; i < n; ++i) {
-        if (!regReady(regs[i], now))
+    for (unsigned i = 0; i < u.nGating; ++i) {
+        if (!regReady(u.gating[i], now))
             return false;
     }
     return true;
 }
 
 Cycles
-Pe::regsWakeAt(const Instruction &inst) const
+Pe::regsWakeAt(const Uop &u) const
 {
-    unsigned regs[3];
-    const unsigned n = gatingRegs(inst, regs);
     Cycles wake = 0;
-    for (unsigned i = 0; i < n; ++i)
-        wake = std::max(wake, regReadyAt_[regs[i]]);
+    for (unsigned i = 0; i < u.nGating; ++i)
+        wake = std::max(wake, regReadyAt_[u.gating[i]]);
     return wake;
 }
 
@@ -404,7 +189,7 @@ Pe::stallFor(Counter &counter, Cycles wake_at)
 void
 Pe::storeElemSaturating(SpAddr a, ElemWidth w, std::int64_t v)
 {
-    const std::int64_t s = saturate(v, w);
+    const std::int64_t s = saturateToWidth(v, w);
     switch (w) {
       case ElemWidth::W8:
         scratchpad_.store<std::int8_t>(a, static_cast<std::int8_t>(s));
@@ -435,16 +220,16 @@ Pe::checkReadHazard(SpAddr addr, unsigned bytes, Cycles now)
 }
 
 bool
-Pe::issueConfig(const Instruction &inst, Cycles now)
+Pe::issueConfig(const Uop &u, Cycles now)
 {
-    if (!regsReady(inst, now))
-        return stallFor(stats_.stallScalar, regsWakeAt(inst));
-    if (inst.op == Opcode::SetVl) {
-        vl_ = regs_[inst.rs1];
+    if (!regsReady(u, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(u));
+    if (u.op == Opcode::SetVl) {
+        vl_ = regs_[u.rs1];
         vip_assert(vl_ > 0 && vl_ <= Scratchpad::kBytes,
                    "set.vl with illegal length ", vl_);
     } else {
-        mr_ = regs_[inst.rs1];
+        mr_ = regs_[u.rs1];
         vip_assert(mr_ > 0 && mr_ <= Scratchpad::kBytes,
                    "set.mr with illegal row count ", mr_);
     }
@@ -452,77 +237,44 @@ Pe::issueConfig(const Instruction &inst, Cycles now)
 }
 
 bool
-Pe::issueScalar(const Instruction &inst, Cycles now)
+Pe::issueScalar(const Uop &u, Cycles now)
 {
-    if (!regsReady(inst, now))
-        return stallFor(stats_.stallScalar, regsWakeAt(inst));
-    const auto a = static_cast<std::int64_t>(regs_[inst.rs1]);
-    std::int64_t result = 0;
-    switch (inst.op) {
-      case Opcode::ScalarRR:
-        result = applyScalarOp(inst.sop, a,
-                               static_cast<std::int64_t>(regs_[inst.rs2]));
-        break;
-      case Opcode::ScalarRI:
-        result = applyScalarOp(inst.sop, a, inst.imm);
-        break;
-      case Opcode::Mov:
-        result = a;
-        break;
-      case Opcode::MovImm:
-        result = inst.imm;
-        break;
-      default:
-        vip_panic("not a scalar instruction");
-    }
-    regs_[inst.rd] = static_cast<std::uint64_t>(result);
-    regReadyAt_[inst.rd] = now + 1;
+    if (!regsReady(u, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(u));
+    regs_[u.rd] = static_cast<std::uint64_t>(scalarResult(u, regs_.data()));
+    regReadyAt_[u.rd] = now + 1;
     return true;
 }
 
 bool
-Pe::issueBranch(const Instruction &inst, Cycles now)
+Pe::issueBranch(const Uop &u, Cycles now)
 {
-    if (!regsReady(inst, now))
-        return stallFor(stats_.stallScalar, regsWakeAt(inst));
-    if (inst.op == Opcode::Jmp) {
-        pc_ = static_cast<std::size_t>(inst.imm);
-        return true;
-    }
-    const auto a = static_cast<std::int64_t>(regs_[inst.rs1]);
-    const auto b = static_cast<std::int64_t>(regs_[inst.rs2]);
-    bool taken = false;
-    switch (inst.cond) {
-      case BranchCond::Lt: taken = a < b; break;
-      case BranchCond::Ge: taken = a >= b; break;
-      case BranchCond::Eq: taken = a == b; break;
-      case BranchCond::Ne: taken = a != b; break;
-    }
-    pc_ = taken ? static_cast<std::size_t>(inst.imm) : pc_ + 1;
+    if (!regsReady(u, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(u));
+    pc_ = branchTarget(u, regs_.data(), pc_);
     return true;
 }
 
 void
-Pe::execVector(const Instruction &inst, Cycles now, Cycles done_at)
+Pe::execVector(const Uop &u, Cycles now, Cycles done_at)
 {
-    const unsigned w = widthBytes(inst.width);
+    const unsigned w = u.wBytes;
     const auto vl = static_cast<unsigned>(vl_);
 
-    if (inst.op == Opcode::VecVec || inst.op == Opcode::VecScalar) {
-        const auto dst = static_cast<SpAddr>(regs_[inst.rd]);
-        const auto src_a = static_cast<SpAddr>(regs_[inst.rs1]);
+    if (u.op == Opcode::VecVec || u.op == Opcode::VecScalar) {
+        const auto dst = static_cast<SpAddr>(regs_[u.rd]);
+        const auto src_a = static_cast<SpAddr>(regs_[u.rs1]);
         checkReadHazard(src_a, vl * w, now);
         std::uint8_t *dp = scratchpad_.bytePtr(dst);
         const std::uint8_t *ap = scratchpad_.bytePtr(src_a);
-        if (inst.op == Opcode::VecVec) {
-            const auto src_b = static_cast<SpAddr>(regs_[inst.rs2]);
+        if (u.op == Opcode::VecVec) {
+            const auto src_b = static_cast<SpAddr>(regs_[u.rs2]);
             checkReadHazard(src_b, vl * w, now);
-            vecVecFnFor(inst.width, inst.vop)(
-                dp, ap, scratchpad_.bytePtr(src_b), vl);
+            u.vecVec(dp, ap, scratchpad_.bytePtr(src_b), vl);
         } else {
-            const std::int64_t scalar = saturate(
-                static_cast<std::int64_t>(regs_[inst.rs2]), inst.width);
-            vecScalarFnFor(inst.width, inst.vop)(dp, ap, scalar, vl);
+            const std::int64_t scalar = saturateToWidth(
+                static_cast<std::int64_t>(regs_[u.rs2]), u.width);
+            u.vecScalar(dp, ap, scalar, vl);
         }
         // The destination streams out behind the pipeline depth.
         scratchpad_.markReadyStream(dst, vl * w, done_at - (vl * w) / 8);
@@ -532,21 +284,20 @@ Pe::execVector(const Instruction &inst, Cycles now, Cycles done_at)
 
     // MatVec: MR x VL row-major matrix at rs1, vector at rs2, MR results.
     const auto mr = static_cast<unsigned>(mr_);
-    const auto dst = static_cast<SpAddr>(regs_[inst.rd]);
-    const auto mat = static_cast<SpAddr>(regs_[inst.rs1]);
-    const auto vec = static_cast<SpAddr>(regs_[inst.rs2]);
+    const auto dst = static_cast<SpAddr>(regs_[u.rd]);
+    const auto mat = static_cast<SpAddr>(regs_[u.rs1]);
+    const auto vec = static_cast<SpAddr>(regs_[u.rs2]);
     const Cycles row_cycles = std::max<Cycles>(1, (vl * w + 7) / 8);
     const Cycles depth = done_at - now - row_cycles * mr;
 
     checkReadHazard(vec, vl * w, now);
-    const MatVecRowFn row_fn = matVecRowFnFor(inst.width, inst.vop,
-                                              inst.rop);
+    const MatVecRowFn row_fn = u.matVecRow;
     const std::uint8_t *vp = scratchpad_.bytePtr(vec);
     for (unsigned r = 0; r < mr; ++r) {
         checkReadHazard(mat + r * vl * w, vl * w, now + r * row_cycles);
         const std::int64_t acc =
             row_fn(scratchpad_.bytePtr(mat + r * vl * w), vp, vl);
-        storeElemSaturating(dst + r * w, inst.width, acc);
+        storeElemSaturating(dst + r * w, u.width, acc);
         scratchpad_.markReadyAt(dst + r * w, w,
                                 now + (r + 1) * row_cycles + depth);
     }
@@ -554,15 +305,15 @@ Pe::execVector(const Instruction &inst, Cycles now, Cycles done_at)
 }
 
 bool
-Pe::issueVector(const Instruction &inst, Cycles now)
+Pe::issueVector(const Uop &u, Cycles now)
 {
-    if (!regsReady(inst, now))
-        return stallFor(stats_.stallScalar, regsWakeAt(inst));
+    if (!regsReady(u, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(u));
     if (now < vectorBusyUntil_)
         return stallFor(stats_.stallVectorBusy, vectorBusyUntil_);
     vip_assert(vl_ > 0, "vector instruction with VL unset");
 
-    const unsigned w = widthBytes(inst.width);
+    const unsigned w = u.wBytes;
     const auto vl = static_cast<unsigned>(vl_);
 
     // Gather the scratchpad ranges this instruction touches.
@@ -571,24 +322,24 @@ Pe::issueVector(const Instruction &inst, Cycles now)
     unsigned nranges = 0;
     Cycles occupancy = 0;
 
-    if (inst.op == Opcode::MatVec) {
+    if (u.op == Opcode::MatVec) {
         vip_assert(mr_ > 0, "m.v with MR unset");
         vip_assert(cfg_.enableReduction,
                    "m.v issued on a configuration without the reduction "
                    "unit (Fig. 4 ablation)");
         const auto mr = static_cast<unsigned>(mr_);
-        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs1]),
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[u.rs1]),
                              mr * vl * w};
-        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs2]), vl * w};
-        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rd]), mr * w};
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[u.rs2]), vl * w};
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[u.rd]), mr * w};
         occupancy = std::max<Cycles>(1, (vl * w + 7) / 8) * mr;
     } else {
-        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs1]), vl * w};
-        if (inst.op == Opcode::VecVec) {
-            ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rs2]),
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[u.rs1]), vl * w};
+        if (u.op == Opcode::VecVec) {
+            ranges[nranges++] = {static_cast<SpAddr>(regs_[u.rs2]),
                                  vl * w};
         }
-        ranges[nranges++] = {static_cast<SpAddr>(regs_[inst.rd]), vl * w};
+        ranges[nranges++] = {static_cast<SpAddr>(regs_[u.rd]), vl * w};
         occupancy = std::max<Cycles>(1, (vl * w + 7) / 8);
     }
 
@@ -607,9 +358,9 @@ Pe::issueVector(const Instruction &inst, Cycles now)
         }
     }
 
-    const Cycles alu = inst.vop == VecOp::Mul ? cfg_.mulStages
-                                              : cfg_.aluStages;
-    const Cycles depth = alu + (inst.op == Opcode::MatVec
+    const Cycles alu = u.vop == VecOp::Mul ? cfg_.mulStages
+                                           : cfg_.aluStages;
+    const Cycles depth = alu + (u.op == Opcode::MatVec
                                     ? cfg_.reduceStages
                                     : 0);
     // The last element enters the pipe at now + occupancy - 1 and its
@@ -627,7 +378,7 @@ Pe::issueVector(const Instruction &inst, Cycles now)
         vecArcPending_.emplace_back(done_at, id);
     }
 
-    execVector(inst, now, done_at);
+    execVector(u, now, done_at);
 
     vectorBusyUntil_ = now + occupancy;
     vectorDrainedAt_ = std::max(vectorDrainedAt_, done_at);
@@ -660,8 +411,11 @@ Pe::completeTransferPiece(int slot, const MemRequest &done)
     if (--t.pending == 0) {
         if (t.arcId >= 0)
             arc_.clear(t.arcId);
-        if (t.destReg >= 0)
+        if (t.destReg >= 0) {
             regReadyAt_[t.destReg] = done.completedAt;
+            if (--pendingLoadCount_[t.destReg] == 0)
+                pendingLoadRegs_ &= ~(std::uint64_t{1} << t.destReg);
+        }
         t.nextFree = freeTransfer_;
         freeTransfer_ = slot;
     }
@@ -730,17 +484,17 @@ Pe::issueDramTransfer(Addr dram, unsigned bytes, bool is_write, int arc_id,
 }
 
 bool
-Pe::issueMemory(const Instruction &inst, Cycles now)
+Pe::issueMemory(const Uop &u, Cycles now)
 {
-    if (!regsReady(inst, now))
-        return stallFor(stats_.stallScalar, regsWakeAt(inst));
-    const unsigned w = widthBytes(inst.width);
+    if (!regsReady(u, now))
+        return stallFor(stats_.stallScalar, regsWakeAt(u));
+    const unsigned w = u.wBytes;
 
-    switch (inst.op) {
+    switch (u.op) {
       case Opcode::LdSram: {
-        const auto sp = static_cast<SpAddr>(regs_[inst.rd]);
-        const Addr dram = regs_[inst.rs1];
-        const auto bytes = static_cast<unsigned>(regs_[inst.rs2] * w);
+        const auto sp = static_cast<SpAddr>(regs_[u.rd]);
+        const Addr dram = regs_[u.rs1];
+        const auto bytes = static_cast<unsigned>(regs_[u.rs2] * w);
         vip_assert(bytes > 0 && sp + bytes <= Scratchpad::kBytes,
                    "ld.sram range [", sp, ", ", sp + bytes,
                    ") outside the scratchpad");
@@ -765,9 +519,9 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         return true;
       }
       case Opcode::StSram: {
-        const auto sp = static_cast<SpAddr>(regs_[inst.rd]);
-        const Addr dram = regs_[inst.rs1];
-        const auto bytes = static_cast<unsigned>(regs_[inst.rs2] * w);
+        const auto sp = static_cast<SpAddr>(regs_[u.rd]);
+        const Addr dram = regs_[u.rs1];
+        const auto bytes = static_cast<unsigned>(regs_[u.rs2] * w);
         vip_assert(bytes > 0 && sp + bytes <= Scratchpad::kBytes,
                    "st.sram range [", sp, ", ", sp + bytes,
                    ") outside the scratchpad");
@@ -782,31 +536,36 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
         return true;
       }
       case Opcode::LdReg: {
-        const Addr dram = regs_[inst.rs1];
+        const Addr dram = regs_[u.rs1];
         if (!issueDramTransfer(dram, w, false, -1,
-                               static_cast<int>(inst.rd), now)) {
+                               static_cast<int>(u.rd), now)) {
             return false;
         }
         // Sign-extended functional load at issue.
         if (injector_)
             injector_->onDramRead(dram, w, cfg_.peId);
         std::int64_t v = 0;
-        switch (inst.width) {
+        switch (u.width) {
           case ElemWidth::W8: v = dram_.load<std::int8_t>(dram); break;
           case ElemWidth::W16: v = dram_.load<std::int16_t>(dram); break;
           case ElemWidth::W32: v = dram_.load<std::int32_t>(dram); break;
           case ElemWidth::W64: v = dram_.load<std::int64_t>(dram); break;
         }
-        regs_[inst.rd] = static_cast<std::uint64_t>(v);
-        regReadyAt_[inst.rd] = kNeverReady;  // valid bit cleared
+        regs_[u.rd] = static_cast<std::uint64_t>(v);
+        regReadyAt_[u.rd] = kNeverReady;  // valid bit cleared
+        // The completion event will set the valid bit; until then no
+        // fast block may write this register (the completion would
+        // overwrite the block's regReadyAt_ out of order).
+        pendingLoadRegs_ |= std::uint64_t{1} << u.rd;
+        ++pendingLoadCount_[u.rd];
         return true;
       }
       case Opcode::StReg: {
-        const Addr dram = regs_[inst.rs1];
+        const Addr dram = regs_[u.rs1];
         if (!issueDramTransfer(dram, w, true, -1, -1, now))
             return false;
-        const std::uint64_t v = regs_[inst.rd];
-        switch (inst.width) {
+        const std::uint64_t v = regs_[u.rd];
+        switch (u.width) {
           case ElemWidth::W8:
             dram_.store<std::uint8_t>(dram, static_cast<std::uint8_t>(v));
             break;
@@ -831,6 +590,203 @@ Pe::issueMemory(const Instruction &inst, Cycles now)
     }
 }
 
+bool
+Pe::issueUop(const Uop &u, Cycles now)
+{
+    const std::size_t pc_at_issue = pc_;
+    bool issued = false;
+
+    switch (u.cls) {
+      case UopClass::Config:
+        issued = issueConfig(u, now);
+        break;
+      case UopClass::Drain:
+        if (now < vectorDrainedAt_) {
+            stallFor(stats_.stallDrain, vectorDrainedAt_);
+        } else {
+            issued = true;
+        }
+        break;
+      case UopClass::Vector:
+        issued = issueVector(u, now);
+        break;
+      case UopClass::Scalar:
+        issued = issueScalar(u, now);
+        break;
+      case UopClass::Branch:
+        issued = issueBranch(u, now);
+        break;
+      case UopClass::Memory:
+        issued = issueMemory(u, now);
+        break;
+      case UopClass::Fence:
+        if (lsqLive_ > 0) {
+            // Drains on memory responses: an external wake-up.
+            stallFor(stats_.stallFence, kIdleForever);
+        } else {
+            issued = true;
+        }
+        break;
+      case UopClass::Halt:
+        halted_ = true;
+        issued = true;
+        break;
+      case UopClass::Nop:
+        issued = true;
+        break;
+    }
+
+    if (!issued)
+        return false;
+
+    stallCounter_ = nullptr;
+    stallWakeAt_ = 0;
+    if (tracer_)
+        tracer_(now, pc_at_issue, prog_[pc_at_issue]);
+    stats_.instructions += 1;
+    stats_.busyCycles += 1;
+    if (injector_) {
+        // Scratchpad upsets: keyed by (PE, instruction ordinal),
+        // never the cycle, so fast-forward injects identically.
+        const long bit = injector_->spFlip(
+            cfg_.peId, stats_.instructions.value(),
+            std::uint64_t{Scratchpad::kBytes} * 8);
+        if (bit >= 0) {
+            *scratchpad_.bytePtr(static_cast<SpAddr>(bit / 8)) ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+    }
+    // Branches set pc_ themselves; everything else — including
+    // Halt, whose resume-at-next-instruction semantics the host
+    // relies on when it reloads a program — falls through to the
+    // next slot.
+    if (u.cls != UopClass::Branch)
+        ++pc_;
+    return true;
+}
+
+void
+Pe::execFastBlock(const FastBlock &b, Cycles at)
+{
+    const Uop *uops = decoded_.uops.data();
+    for (unsigned i = 0; i < b.len; ++i) {
+        const Uop &u = uops[pc_];
+        switch (u.cls) {
+          case UopClass::Scalar:
+            regs_[u.rd] =
+                static_cast<std::uint64_t>(scalarResult(u, regs_.data()));
+            // µop i of the block issues at cycle at + i; the scalar
+            // write is architecturally ready one cycle later, exactly
+            // as issueScalar would have recorded.
+            regReadyAt_[u.rd] = at + i + 1;
+            ++pc_;
+            break;
+          case UopClass::Config:
+            if (u.op == Opcode::SetVl) {
+                vl_ = regs_[u.rs1];
+                vip_assert(vl_ > 0 && vl_ <= Scratchpad::kBytes,
+                           "set.vl with illegal length ", vl_);
+            } else {
+                mr_ = regs_[u.rs1];
+                vip_assert(mr_ > 0 && mr_ <= Scratchpad::kBytes,
+                           "set.mr with illegal row count ", mr_);
+            }
+            ++pc_;
+            break;
+          case UopClass::Branch:
+            pc_ = branchTarget(u, regs_.data(), pc_);
+            break;
+          default:  // Nop — no other class is block-eligible
+            ++pc_;
+            break;
+        }
+        if (injector_) {
+            // Same per-µop ordinal roll as issueUop: the event-identity
+            // key is (PE, instruction ordinal), so flips land on the
+            // same instructions whether or not the block ran in bulk.
+            stats_.instructions += 1;
+            const long bit = injector_->spFlip(
+                cfg_.peId, stats_.instructions.value(),
+                std::uint64_t{Scratchpad::kBytes} * 8);
+            if (bit >= 0) {
+                *scratchpad_.bytePtr(static_cast<SpAddr>(bit / 8)) ^=
+                    static_cast<std::uint8_t>(1u << (bit % 8));
+            }
+        }
+    }
+    if (!injector_)
+        stats_.instructions += b.len;
+    stats_.busyCycles += b.len;
+    ++fpStats_.blockRuns;
+    fpStats_.fastUops += b.len;
+}
+
+bool
+Pe::tryFastPath(Cycles now)
+{
+    if (tracer_) {
+        // The tracer observes every issue; stay on the per-µop path.
+        ++fpStats_.fallbackTracer;
+        return false;
+    }
+
+    const Cycles horizon =
+        std::min(runDeadline_, now + cfg_.fastPathChunk);
+    Cycles charged = 0;
+    Counter *cause = nullptr;
+
+    // Chain whole blocks (a self-looping block chains with itself, so
+    // a hot loop executes natively until the horizon cuts it). Every
+    // break either leaves the partial block to the cycle-accurate path
+    // at the exact cycle the window ends, or records why nothing ran.
+    while (pc_ < decoded_.blocks.size()) {
+        const FastBlock &b = decoded_.blocks[pc_];
+        if (b.len == 0) {
+            cause = &fpStats_.fallbackIneligible;
+            break;
+        }
+        const Cycles entry = now + charged;
+        if (entry + b.len > horizon) {
+            cause = &fpStats_.fallbackHorizon;
+            break;
+        }
+        if ((b.writes & pendingLoadRegs_) != 0) {
+            cause = &fpStats_.fallbackPendingLoad;
+            break;
+        }
+        bool ready = true;
+        for (std::uint64_t m = b.liveIn; m != 0; m &= m - 1) {
+            // Live-ins checked at block entry (conservative: the
+            // cycle-accurate path could begin a block whose later
+            // µops' inputs become ready mid-block; we just fall back
+            // there, which is exact).
+            if (regReadyAt_[std::countr_zero(m)] > entry) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready) {
+            cause = &fpStats_.fallbackRegs;
+            break;
+        }
+        execFastBlock(b, entry);
+        charged += b.len;
+    }
+
+    if (charged == 0) {
+        if (cause)
+            ++*cause;
+        return false;
+    }
+    // The simulated work of cycles [now, now + charged) is done; ticks
+    // inside the window are no-ops and nextEventAt() lets fast-forward
+    // warp it.
+    fpBusyUntil_ = now + charged;
+    stallCounter_ = nullptr;
+    stallWakeAt_ = 0;
+    return true;
+}
+
 void
 Pe::tick(Cycles now)
 {
@@ -848,89 +804,23 @@ Pe::tick(Cycles now)
     }
     if (halted_)
         return;
+    if (now < fpBusyUntil_) {
+        // Inside a bulk-charged fast-block window: the issue slots of
+        // these cycles were consumed by execFastBlock already.
+        return;
+    }
     vip_assert(pc_ < prog_.size(), "pe", cfg_.peId,
                ": PC ran off the end of the program");
 
-    const Instruction &inst = prog_[pc_];
-    bool issued = false;
-    bool is_branch = false;
-
-    switch (inst.op) {
-      case Opcode::SetVl:
-      case Opcode::SetMr:
-        issued = issueConfig(inst, now);
-        break;
-      case Opcode::VDrain:
-        if (now < vectorDrainedAt_) {
-            stallFor(stats_.stallDrain, vectorDrainedAt_);
-        } else {
-            issued = true;
-        }
-        break;
-      case Opcode::MatVec:
-      case Opcode::VecVec:
-      case Opcode::VecScalar:
-        issued = issueVector(inst, now);
-        break;
-      case Opcode::ScalarRR:
-      case Opcode::ScalarRI:
-      case Opcode::Mov:
-      case Opcode::MovImm:
-        issued = issueScalar(inst, now);
-        break;
-      case Opcode::Branch:
-      case Opcode::Jmp:
-        issued = issueBranch(inst, now);
-        is_branch = issued;
-        break;
-      case Opcode::LdSram:
-      case Opcode::StSram:
-      case Opcode::LdReg:
-      case Opcode::StReg:
-        issued = issueMemory(inst, now);
-        break;
-      case Opcode::Memfence:
-        if (lsqLive_ > 0) {
-            // Drains on memory responses: an external wake-up.
-            stallFor(stats_.stallFence, kIdleForever);
-        } else {
-            issued = true;
-        }
-        break;
-      case Opcode::Halt:
-        halted_ = true;
-        issued = true;
-        break;
-      case Opcode::Nop:
-        issued = true;
-        break;
-    }
-
-    if (issued) {
-        stallCounter_ = nullptr;
-        stallWakeAt_ = 0;
-        if (tracer_)
-            tracer_(now, static_cast<std::size_t>(&inst - prog_.data()),
-                    inst);
-        stats_.instructions += 1;
-        stats_.busyCycles += 1;
-        if (injector_) {
-            // Scratchpad upsets: keyed by (PE, instruction ordinal),
-            // never the cycle, so fast-forward injects identically.
-            const long bit = injector_->spFlip(
-                cfg_.peId, stats_.instructions.value(),
-                std::uint64_t{Scratchpad::kBytes} * 8);
-            if (bit >= 0) {
-                *scratchpad_.bytePtr(static_cast<SpAddr>(bit / 8)) ^=
-                    static_cast<std::uint8_t>(1u << (bit % 8));
-            }
-        }
-        // Branches set pc_ themselves; everything else — including
-        // Halt, whose resume-at-next-instruction semantics the host
-        // relies on when it reloads a program — falls through to the
-        // next slot.
-        if (!is_branch)
-            ++pc_;
+    if (cfg_.fastPath) {
+        if (tryFastPath(now))
+            return;
+        issueUop(decoded_.uops[pc_], now);
+    } else {
+        // Oracle mode: re-decode the instruction at the PC every cycle
+        // — the classic interpreter, expressed through the same
+        // translation and the same issue path the fast mode replays.
+        issueUop(translateUop(prog_[pc_]), now);
     }
 }
 
@@ -962,6 +852,10 @@ Pe::nextEventAt(Cycles now) const
         // instruction can issue.
         return kIdleForever;
     }
+    if (now < fpBusyUntil_) {
+        // Bulk-charged window: nothing to do until it ends.
+        return fpBusyUntil_;
+    }
     if (stallCounter_ == nullptr) {
         // Actively issuing (or not yet ticked): never warp past it.
         return now;
@@ -974,6 +868,8 @@ Pe::fastForward(Cycles from, Cycles to)
 {
     // Within a warp window no component changes state, so the front
     // end would have re-evaluated to the exact same stall every cycle.
+    // Inside a fast-block busy window stallCounter_ is null and the
+    // cycles were already charged as busy, so nothing accrues here.
     if (!halted_ && stallCounter_ != nullptr)
         *stallCounter_ += to - from;
 }

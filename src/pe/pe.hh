@@ -35,6 +35,7 @@
 #include "mem/request.hh"
 #include "mem/storage.hh"
 #include "pe/arc.hh"
+#include "pe/decode.hh"
 #include "pe/scratchpad.hh"
 #include "sim/clocked.hh"
 #include "sim/stats.hh"
@@ -65,6 +66,23 @@ struct PeConfig
      * for schedule-free correctness.
      */
     bool arcCoversVector = false;
+
+    /**
+     * Replay the decoded-µop stream and execute stall-free basic
+     * blocks functionally in bulk (see decode.hh). A host-speed knob
+     * only — results are bit-identical either way — so it is not part
+     * of the serialized PE-config JSON. False keeps the per-cycle
+     * interpreter as the oracle.
+     */
+    bool fastPath = true;
+
+    /**
+     * Most cycles one fast-path tick may charge in bulk. Bounded so a
+     * progress bump lands inside every watchdog window (the system
+     * clamps this to half its watchdog period) — a mega-loop executed
+     * natively would otherwise look like a hang to the deadlock check.
+     */
+    Cycles fastPathChunk = 65536;
 };
 
 /** How the PE hands memory transactions to the system. */
@@ -92,6 +110,15 @@ class Pe : public Clocked
 
     /** Advance one clock cycle (issue at most one instruction). */
     void tick(Cycles now) override;
+
+    /**
+     * Exclusive cycle bound of the current run: the fast path never
+     * charges a block past it, so `run(N)` observes the same
+     * cut-mid-loop architectural state either way (the partial final
+     * block falls back to per-µop issue). VipSystem sets this at the
+     * top of every run; the default never limits.
+     */
+    void setRunDeadline(Cycles deadline) { runDeadline_ = deadline; }
 
     /**
      * Earliest cycle the front end could make progress again. An
@@ -167,6 +194,32 @@ class Pe : public Clocked
 
     const Stats &stats() const { return stats_; }
 
+    /**
+     * µop-cache / fast-path observability. These counters measure the
+     * host-side execution strategy, not the simulated machine, so they
+     * live in a standalone StatGroup *outside* the system stats tree:
+     * RunResult counters (and thus run JSON, fingerprinted cache
+     * entries, and every bit-identity test) are unchanged by the fast
+     * path being on or off.
+     */
+    struct FastPathStats
+    {
+        Counter uopsTranslated;   ///< static instructions decoded
+        Counter blocksTranslated; ///< pcs starting a fast block
+        Counter blockRuns;        ///< blocks executed functionally
+        Counter fastUops;         ///< µops retired via the fast path
+        Counter fallbackIneligible; ///< block table says not eligible
+        Counter fallbackRegs;     ///< live-in register not ready
+        Counter fallbackPendingLoad; ///< block writes an ld.reg target
+        Counter fallbackHorizon;  ///< chunk/deadline cut the block
+        Counter fallbackTracer;   ///< tracer attached (per-µop only)
+    };
+
+    const FastPathStats &fastPathStats() const { return fpStats_; }
+
+    /** The standalone "pe<N>.fastpath" group holding FastPathStats. */
+    const StatGroup &fastPathGroup() const { return fpGroup_; }
+
     /** Pool the PE's DRAM request descriptors recycle through. */
     const MemRequestPool &requestPool() const { return reqPool_; }
 
@@ -174,22 +227,33 @@ class Pe : public Clocked
     std::uint64_t vectorOps() const { return stats_.vectorLaneOps.value(); }
 
   private:
-    // --- issue helpers; each returns true when the instruction issued ---
-    bool issueScalar(const Instruction &inst, Cycles now);
-    bool issueBranch(const Instruction &inst, Cycles now);
-    bool issueVector(const Instruction &inst, Cycles now);
-    bool issueMemory(const Instruction &inst, Cycles now);
-    bool issueConfig(const Instruction &inst, Cycles now);
+    // --- issue helpers; each returns true when the µop issued.
+    // All issue-path semantics take pre-decoded Uops; the oracle mode
+    // (fastPath off) re-translates the Instruction at the PC every
+    // tick, so both modes execute the one and only semantic path.
+    bool issueUop(const Uop &u, Cycles now);
+    bool issueScalar(const Uop &u, Cycles now);
+    bool issueBranch(const Uop &u, Cycles now);
+    bool issueVector(const Uop &u, Cycles now);
+    bool issueMemory(const Uop &u, Cycles now);
+    bool issueConfig(const Uop &u, Cycles now);
 
-    bool regsReady(const Instruction &inst, Cycles now) const;
+    bool regsReady(const Uop &u, Cycles now) const;
     bool regReady(unsigned r, Cycles now) const;
-
-    /** Source/operand registers gating issue of @p inst. */
-    unsigned gatingRegs(const Instruction &inst, unsigned out[3]) const;
 
     /** Cycle every gating register becomes ready (kIdleForever if one
      *  waits on a memory response). */
-    Cycles regsWakeAt(const Instruction &inst) const;
+    Cycles regsWakeAt(const Uop &u) const;
+
+    /**
+     * Execute as many whole fast blocks as fit before the chunk cap /
+     * run deadline, charging their timing in bulk; true when at least
+     * one block ran (the PE is then busy until fpBusyUntil_).
+     */
+    bool tryFastPath(Cycles now);
+
+    /** Functionally execute one fast block entered at cycle @p at. */
+    void execFastBlock(const FastBlock &b, Cycles at);
 
     /** Earliest vector-pipeline ARC retirement (kIdleForever if none). */
     Cycles earliestVecArcRetireAt() const;
@@ -198,7 +262,7 @@ class Pe : public Clocked
      *  for nextEventAt()/fastForward(). Always returns false. */
     bool stallFor(Counter &counter, Cycles wake_at);
 
-    void execVector(const Instruction &inst, Cycles now, Cycles done_at);
+    void execVector(const Uop &u, Cycles now, Cycles done_at);
     void checkReadHazard(SpAddr addr, unsigned bytes, Cycles now);
 
     /** Issue a DRAM transfer, splitting at vault boundaries.
@@ -231,8 +295,28 @@ class Pe : public Clocked
     MemIssueFn memIssue_;
 
     std::vector<Instruction> prog_;
+    DecodedProgram decoded_; ///< µop stream + block table (fastPath)
     std::size_t pc_ = 0;
     bool halted_ = true;
+
+    /**
+     * End of the last bulk-charged fast-block window: ticks inside it
+     * are no-ops (the work already happened functionally) and
+     * nextEventAt() reports it so fast-forward warps the dead cycles.
+     */
+    Cycles fpBusyUntil_ = 0;
+
+    /** Exclusive run bound fast blocks may not charge past. */
+    Cycles runDeadline_ = ~Cycles{0};
+
+    /**
+     * Registers with an outstanding ld.reg: the completion event will
+     * overwrite regReadyAt_ later, so a fast block must not write them
+     * (reads are already fenced by the never-ready valid bit). Mask
+     * plus per-register depth — two loads to one register can overlap.
+     */
+    std::uint64_t pendingLoadRegs_ = 0;
+    std::array<std::uint8_t, kNumScalarRegs> pendingLoadCount_{};
 
     std::array<std::uint64_t, kNumScalarRegs> regs_{};
     std::array<Cycles, kNumScalarRegs> regReadyAt_{};
@@ -266,6 +350,11 @@ class Pe : public Clocked
 
     StatGroup statGroup_;
     Stats stats_;
+
+    // Standalone on purpose — never parented into the system tree; see
+    // FastPathStats.
+    StatGroup fpGroup_;
+    FastPathStats fpStats_;
 };
 
 } // namespace vip

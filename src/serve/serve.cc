@@ -101,10 +101,13 @@ VipServer::dispatchRun(const Json &spec_json)
 {
     RunSpec spec = RunSpec::fromJson(spec_json);
     const std::uint64_t key = spec.fingerprint();
-    // Host execution default, applied after fingerprinting: island
-    // count never changes the result bytes, only who computes them.
+    // Host execution defaults, applied after fingerprinting: island
+    // count and the µop fast path never change the result bytes,
+    // only how they are computed.
     if (spec.config.islands == 1)
         spec.config.islands = opts_.defaultIslands;
+    if (spec.config.fastPath)
+        spec.config.fastPath = opts_.defaultFastPath;
 
     {
         LockGuard lock(mutex_);
@@ -123,12 +126,14 @@ VipServer::dispatchRun(const Json &spec_json)
     engine_.submit([this, spec, key, p] {
         std::string response;
         bool is_error = false;
+        std::map<std::string, std::uint64_t> fp;
         try {
             const RunResult result = runSpec(spec);
             Json body = Json::object();
             body.set("key", hexKey(key));
             body.set("result", result.toJson());
             response = body.str();
+            fp = result.fastpath;
         } catch (const SimError &e) {
             response = errorResponse(e);
             is_error = true;
@@ -138,8 +143,11 @@ VipServer::dispatchRun(const Json &spec_json)
             is_error = true;
         }
         LockGuard lock(mutex_);
-        if (!is_error)
+        if (!is_error) {
             cacheInsert(key, response);
+            for (const auto &[name, value] : fp)
+                fastpath_[name] += value;
+        }
         p->response = std::move(response);
         p->isError = is_error;
         p->done = true;
@@ -161,14 +169,19 @@ VipServer::statsResponse()
         },
         nullptr,
     });
+    Json fp = Json::object();
+    fp.set("enabled", opts_.defaultFastPath);
     {
         // The serving thread only calls this after drain(), but the
         // cache is guarded state: read its size under the lock.
         LockGuard lock(mutex_);
         serve.set("cacheEntries", cache_.size());
+        for (const auto &[name, value] : fastpath_)
+            fp.set(name, value);
     }
     serve.set("cacheCapacity", opts_.cacheEntries);
     serve.set("jobs", engine_.jobs());
+    serve.set("fastpath", std::move(fp));
     Json body = Json::object();
     body.set("serve", std::move(serve));
     return body.str();

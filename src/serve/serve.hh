@@ -64,6 +64,7 @@
 #include <deque>
 #include <istream>
 #include <list>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -94,6 +95,15 @@ struct ServeOptions
      * cached response stays valid across default changes.
      */
     unsigned defaultIslands = 1;
+
+    /**
+     * Fast-path default for run requests that don't turn it off
+     * (config.fastPath == true). The same host-side knob shape as
+     * defaultIslands: the decoded-µop replay is bit-identical to the
+     * interpreter, so the cache key is computed before this default
+     * is applied and cached responses stay valid across it.
+     */
+    bool defaultFastPath = true;
 };
 
 class VipServer
@@ -174,6 +184,12 @@ class VipServer
     Mutex mutex_;
     CondVar cv_;
     std::deque<PendingPtr> window_ VIP_GUARDED_BY(mutex_);
+
+    /** Server-lifetime µop fast-path counters summed over every run
+     *  executed (cache hits skip simulation and add nothing), keyed
+     *  by counter name; reported by the stats command's "fastpath"
+     *  section. */
+    std::map<std::string, std::uint64_t> fastpath_ VIP_GUARDED_BY(mutex_);
 
     /** LRU: most-recent at the front; map points into the list. */
     std::list<std::pair<std::uint64_t, std::string>> lru_

@@ -40,6 +40,18 @@ Simulation::run(Cycles max_cycles)
             result.hostSeconds;
     }
     result.fastForwardedCycles = sys_.fastForwardStats().skippedCycles;
+    result.fastPathEnabled = sys_.config().fastPath;
+    for (unsigned pe = 0; pe < sys_.numPes(); ++pe) {
+        sys_.pe(pe).fastPathGroup().visit({
+            [&result](const std::string &path, std::uint64_t value,
+                      const std::string &) {
+                // Aggregate by counter name: the path is
+                // "peN.fastpath.<name>"; keep just <name>.
+                result.fastpath[path.substr(path.rfind('.') + 1)] += value;
+            },
+            nullptr,
+        });
+    }
     result.haltedCleanly = sys_.allIdle();
     result.peRequestAllocations.reserve(sys_.numPes());
     for (unsigned pe = 0; pe < sys_.numPes(); ++pe) {
@@ -75,11 +87,13 @@ RunResult::toJson() const
     Json j = Json::object();
     j.set("cycles", static_cast<std::uint64_t>(cycles));
     j.set("haltedCleanly", haltedCleanly);
-    // fastForwardedCycles stays on the struct (tools/logs read it) but
-    // out of the JSON: it is a host-side tuning observable, and in
-    // island mode its per-island aggregate differs from the serial
-    // value — keeping it here would break the bit-identical-RunResult
-    // contract island_equivalence_test pins.
+    // fastForwardedCycles and the fastpath counter map stay on the
+    // struct (tools/logs read them) but out of the JSON: they are
+    // host-side tuning observables — fast-forward's per-island
+    // aggregate differs from the serial value, and the fastpath
+    // counters differ with the fast path on vs. off — and keeping
+    // either here would break the bit-identical-RunResult contract
+    // island_equivalence_test and fastpath_equivalence_test pin.
     j.set("memRequestPoolHighWater", memRequestPoolHighWater);
     Json allocs = Json::array();
     for (const std::uint64_t a : peRequestAllocations)

@@ -108,6 +108,19 @@ struct RunResult
     /** Dead cycles warped over so far (0 with --no-fast-forward). */
     Cycles fastForwardedCycles = 0;
 
+    /** True when the run executed with the decoded-µop fast path. */
+    bool fastPathEnabled = false;
+
+    /**
+     * µop-cache / fast-path counters summed across PEs, keyed by
+     * counter name ("block_runs", "fast_uops", "fallback_regs", ...)
+     * — see Pe::FastPathStats. Like fastForwardedCycles these measure
+     * the host-side execution strategy, live outside the system stats
+     * tree, and are excluded from toJson(): RunResult JSON is
+     * identical with the fast path on or off.
+     */
+    std::map<std::string, std::uint64_t> fastpath;
+
     /** Largest MemRequest-pool working set across PEs: the most
      *  descriptors any one PE ever had in flight at once. */
     unsigned memRequestPoolHighWater = 0;

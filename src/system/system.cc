@@ -138,6 +138,14 @@ VipSystem::VipSystem(const SystemConfig &cfg)
         PeConfig pe_cfg = cfg_.pe;
         pe_cfg.peId = id;
         pe_cfg.vault = id / cfg_.pesPerVault;
+        pe_cfg.fastPath = cfg_.fastPath;
+        // Half the watchdog period bounds a bulk charge, so a progress
+        // bump always lands inside every watchdog window (serial and
+        // island) and a natively-executed mega-loop can't be mistaken
+        // for a hang.
+        pe_cfg.fastPathChunk =
+            std::min<Cycles>(pe_cfg.fastPathChunk,
+                             std::max<Cycles>(1, cfg_.watchdogCycles / 2));
         const unsigned src_vault = pe_cfg.vault;
         pes_.push_back(std::make_unique<Pe>(
             pe_cfg, hmc_.storage(), hmc_.mapper(),
@@ -321,6 +329,11 @@ VipSystem::run(Cycles max_cycles)
                "sweep job)");
     const Cycles deadline = max_cycles == 0 ? ~Cycles{0}
                                             : now_ + max_cycles;
+    // The fast path must not charge a block past the budget: a run cut
+    // mid-loop has to leave the same architectural state as a
+    // cycle-by-cycle run would (the partial block re-executes per-µop).
+    for (auto &pe : pes_)
+        pe->setRunDeadline(deadline);
     if (cfg_.islands > 1)
         return islandRun(deadline);
 

@@ -70,6 +70,16 @@ struct SystemConfig
      */
     unsigned islands = 1;
 
+    /**
+     * Replay each PE's decoded-µop stream and execute stall-free basic
+     * blocks functionally in bulk (pe/decode.hh). Bit-identical to the
+     * per-cycle interpreter — a host knob like fastForward and islands
+     * — and false (--no-fast-path) keeps the interpreter as the
+     * oracle. Omitted from the JSON wire form when true, so existing
+     * RunSpec fingerprints are unchanged.
+     */
+    bool fastPath = true;
+
     /** Fault-injection campaign; disabled (and costless) by default. */
     FaultPlan faults;
 

@@ -27,6 +27,16 @@ Island speedup needs real cores: the file records the host's thread
 count, and on a host with fewer threads than islands the ratios
 document barrier overhead, not speedup (the warning every tool prints
 in that situation).
+
+A third mode measures the decoded-µop fast path (pe/decode.hh) into
+BENCH_decode.json — the same binaries run twice, with --no-fast-path
+(the interpreter baseline) and without (the µop replay), over the
+fast-path-sensitive micro-benchmarks and the table4_cnn sweep:
+
+    tools/bench-baseline.py --mode decode --build build-release
+
+Simulated cycles are bit-identical between the two columns (that is
+the fastpath_equivalence_test contract); only host time moves.
 """
 
 import argparse
@@ -47,10 +57,10 @@ MICRO_FILTER = ("BM_FastForwardStreamCopy|BM_PeScalarLoop|"
 SWEEP_FRAC = "0.02"
 
 
-def run_micro(build_dir):
+def run_micro(build_dir, bench_filter=MICRO_FILTER, extra_args=()):
     exe = os.path.join(build_dir, "bench", "micro_components")
     out = subprocess.run(
-        [exe, "--benchmark_filter=" + MICRO_FILTER,
+        [exe, *extra_args, "--benchmark_filter=" + bench_filter,
          "--benchmark_format=json"],
         check=True, capture_output=True, text=True).stdout
     results = {}
@@ -71,14 +81,16 @@ def run_micro(build_dir):
     return results
 
 
-def run_sweep(build_dir, islands=1):
+def run_sweep(build_dir, islands=1, fast_path=True):
     exe = os.path.join(build_dir, "bench", "table4_cnn")
+    cmd = [exe, SWEEP_FRAC, "--jobs", "1", "--islands", str(islands)]
+    if not fast_path:
+        cmd.append("--no-fast-path")
     start = time.monotonic()
-    subprocess.run([exe, SWEEP_FRAC, "--jobs", "1",
-                    "--islands", str(islands)],
-                   check=True, capture_output=True, text=True)
+    subprocess.run(cmd, check=True, capture_output=True, text=True)
     return {"hostSeconds": time.monotonic() - start,
-            "frac": float(SWEEP_FRAC), "jobs": 1, "islands": islands}
+            "frac": float(SWEEP_FRAC), "jobs": 1, "islands": islands,
+            "fastPath": fast_path}
 
 
 def run_islands(build_dir, out_path):
@@ -141,16 +153,65 @@ def run_islands(build_dir, out_path):
     return 0
 
 
+def run_decode(build_dir, out_path):
+    """Record interpreter vs µop-replay host time into BENCH_decode.json."""
+    decode_filter = "BM_PeScalarLoop|BM_FastForwardStreamCopy"
+    baseline = run_micro(build_dir, decode_filter, ["--no-fast-path"])
+    optimized = run_micro(build_dir, decode_filter)
+    micro = {name: {"baseline": baseline[name],
+                    "optimized": optimized[name]}
+             for name in sorted(set(baseline) | set(optimized))
+             if name in baseline and name in optimized}
+
+    sweep = {"baseline": run_sweep(build_dir, fast_path=False),
+             "optimized": run_sweep(build_dir, fast_path=True)}
+
+    def ratio(base, other):
+        return round(base / other, 3) if other > 0 else None
+
+    doc = {
+        "host": {"threads": os.cpu_count()},
+        "benchmarks": micro,
+        "sweep": {"table4_cnn": sweep},
+        "speedup": {
+            # optimized rate / baseline rate (or baseline time /
+            # optimized time): > 1 means the fast path won.
+            **{name: ratio(
+                   cols["optimized"]["simCyclesPerHostSecond"],
+                   cols["baseline"]["simCyclesPerHostSecond"])
+               for name, cols in micro.items()
+               if "simCyclesPerHostSecond" in cols.get("baseline", {})
+               and "simCyclesPerHostSecond" in cols.get("optimized", {})},
+            "table4_cnn": ratio(sweep["baseline"]["hostSeconds"],
+                                sweep["optimized"]["hostSeconds"]),
+        },
+    }
+    if (os.cpu_count() or 1) < 4:
+        doc["note"] = (
+            "recorded on a small host: both columns ran on the same "
+            "machine back to back, so the ratios are meaningful but "
+            "the absolute rates are not (re-record on a quiet host "
+            "for absolutes)")
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote decode numbers to {out_path}")
+    for name, r in sorted(doc["speedup"].items()):
+        print(f"  {name}: fast path -> {r}x")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="record host-perf numbers into BENCH_*.json")
     ap.add_argument("--build", default="build-release",
                     help="Release build directory (default: %(default)s)")
     ap.add_argument("--mode", default="hotpath",
-                    choices=["hotpath", "islands"],
+                    choices=["hotpath", "islands", "decode"],
                     help="hotpath: BENCH_hotpath.json baseline/optimized "
                          "columns; islands: BENCH_islands.json serial vs "
-                         "2/4-island snapshot")
+                         "2/4-island snapshot; decode: BENCH_decode.json "
+                         "interpreter vs decoded-µop fast path")
     ap.add_argument("--label",
                     choices=["baseline", "optimized"],
                     help="which column of the file to (over)write "
@@ -165,6 +226,8 @@ def main():
         args.out = os.path.join(REPO_ROOT, f"BENCH_{args.mode}.json")
     if args.mode == "islands":
         return run_islands(args.build, args.out)
+    if args.mode == "decode":
+        return run_decode(args.build, args.out)
     if args.label is None:
         ap.error("--label is required in hotpath mode")
 

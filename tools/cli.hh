@@ -45,6 +45,7 @@ enum Flag : unsigned
     kFastForward = 1u << 2,  ///< --no-fast-forward
     kInject = 1u << 3,       ///< --inject SPEC
     kIslands = 1u << 4,      ///< --islands N
+    kFastPath = 1u << 5,     ///< --no-fast-path
 };
 
 /** Values of the shared flags, pre-set to their defaults. */
@@ -55,6 +56,7 @@ struct CommonOptions
     bool fastForward = true;    ///< false after --no-fast-forward
     std::string injectSpec;     ///< empty = no fault campaign
     unsigned islands = 1;       ///< 1 = serial tick loop
+    bool fastPath = true;       ///< false after --no-fast-path
 };
 
 /** Parse "N" or "0xN"; exits 2 with @p tool's name on garbage. */
@@ -107,6 +109,10 @@ consumeCommon(int argc, char **argv, int &i, unsigned flags,
         out.injectSpec = value("--inject");
         return true;
     }
+    if ((flags & kFastPath) && std::strcmp(arg, "--no-fast-path") == 0) {
+        out.fastPath = false;
+        return true;
+    }
     if ((flags & kIslands) && std::strcmp(arg, "--islands") == 0) {
         // Range/divisibility validation lives with the rest of config
         // validation (validateIslandCount, dotted-path ConfigError);
@@ -138,6 +144,8 @@ commonUsage(unsigned flags)
         add("[--islands N]");
     if (flags & kFastForward)
         add("[--no-fast-forward]");
+    if (flags & kFastPath)
+        add("[--no-fast-path]");
     return out;
 }
 
@@ -167,6 +175,12 @@ commonHelp(unsigned flags)
     if (flags & kFastForward) {
         out += "  --no-fast-forward   tick every cycle instead of "
                "warping dead ones\n";
+    }
+    if (flags & kFastPath) {
+        out += "  --no-fast-path      interpret every instruction "
+               "instead of replaying\n"
+               "                      decoded µops (output is "
+               "bit-identical)\n";
     }
     return out;
 }

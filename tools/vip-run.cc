@@ -32,6 +32,9 @@
  *                          NoC X dimension)
  *     --no-fast-forward    tick every cycle instead of warping over
  *                          provably dead ones (same results, slower)
+ *     --no-fast-path       interpret every instruction instead of
+ *                          replaying decoded µops and fast blocks
+ *                          (same results, slower)
  *     --strict             panic on vector timing hazards
  *
  * On a recoverable failure (bad config, assembly error, deadlock) the
@@ -74,10 +77,12 @@ usage()
         "       [--max-cycles N] [--vaults N] [--strict] [--trace] "
         "%s\n%s",
         cli::commonUsage(cli::kJsonStats | cli::kInject |
-                         cli::kIslands | cli::kFastForward)
+                         cli::kIslands | cli::kFastForward |
+                         cli::kFastPath)
             .c_str(),
         cli::commonHelp(cli::kJsonStats | cli::kInject |
-                        cli::kIslands | cli::kFastForward)
+                        cli::kIslands | cli::kFastForward |
+                        cli::kFastPath)
             .c_str());
     return 2;
 }
@@ -135,6 +140,7 @@ specFromOptions(const Options &opt, const std::string &source)
     spec.config.pe.strictHazards = opt.strict;
     spec.config.fastForward = opt.common.fastForward;
     spec.config.islands = opt.common.islands;
+    spec.config.fastPath = opt.common.fastPath;
     if (!opt.common.injectSpec.empty())
         spec.config.faults = FaultPlan::parse(opt.common.injectSpec);
     spec.programs.push_back({0, source});
@@ -232,6 +238,15 @@ run(const Options &opt)
         host.set("simCyclesPerHostSecond",
                  result.simCyclesPerHostSecond);
         doc.set("host", std::move(host));
+        // Like "host", the fastpath section is observability outside
+        // the deterministic document: the aggregated µop-cache
+        // counters (Pe::FastPathStats) plus the mode that produced
+        // them.
+        Json fp = Json::object();
+        fp.set("enabled", result.fastPathEnabled);
+        for (const auto &[name, value] : result.fastpath)
+            fp.set(name, value);
+        doc.set("fastpath", std::move(fp));
         if (result.faultInjectionEnabled) {
             // Readers of the faults section also want the campaign.
             Json f = doc.at("faults");
@@ -250,7 +265,8 @@ int
 main(int argc, char **argv)
 {
     constexpr unsigned kFlags = cli::kJsonStats | cli::kInject |
-                                cli::kIslands | cli::kFastForward;
+                                cli::kIslands | cli::kFastForward |
+                                cli::kFastPath;
     Options opt;
     for (int i = 1; i < argc; ++i) {
         if (cli::consumeCommon(argc, argv, i, kFlags, opt.common))

@@ -23,6 +23,10 @@
  *   --islands N  island count applied to run requests that don't set
  *                one (default 1 = serial; results are bit-identical
  *                either way, see system/partition.hh)
+ *   --no-fast-path
+ *                interpret every instruction on requests that don't
+ *                ask otherwise (default: replay decoded µops; results
+ *                are bit-identical either way, see pe/decode.hh)
  *   --cache N    result-cache capacity in entries (default 256;
  *                0 disables caching)
  *
@@ -63,8 +67,12 @@ usage()
                  "  --socket PATH       listen on a unix socket\n"
                  "  --cache N           result-cache entries "
                  "(default 256, 0 = off)\n",
-                 cli::commonUsage(cli::kJobs | cli::kIslands).c_str(),
-                 cli::commonHelp(cli::kJobs | cli::kIslands).c_str());
+                 cli::commonUsage(cli::kJobs | cli::kIslands |
+                                  cli::kFastPath)
+                     .c_str(),
+                 cli::commonHelp(cli::kJobs | cli::kIslands |
+                                 cli::kFastPath)
+                     .c_str());
     return 2;
 }
 
@@ -144,7 +152,9 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         if (cli::consumeCommon(argc, argv, i,
-                               cli::kJobs | cli::kIslands, common))
+                               cli::kJobs | cli::kIslands |
+                                   cli::kFastPath,
+                               common))
             continue;
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -170,6 +180,7 @@ main(int argc, char **argv)
 
     opts.jobs = common.jobs;
     opts.defaultIslands = common.islands;
+    opts.defaultFastPath = common.fastPath;
     bool oversubscribed = false;
     const unsigned budget =
         hostThreadBudget(common.jobs, common.islands, &oversubscribed);
