@@ -1,0 +1,86 @@
+#include "serve/journal.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sim/error.hh"
+#include "sim/json.hh"
+
+namespace vip {
+
+CampaignJournal::CampaignJournal(const std::string &path)
+{
+    // Continue numbering after anything already journaled, so a
+    // restarted daemon's new requests never collide with recovered
+    // ones.
+    for (const Entry &e : load(path))
+        nextSeq_ = std::max(nextSeq_, e.seq + 1);
+    out_.open(path, std::ios::app);
+    if (!out_) {
+        throw SimError("config",
+                       "cannot open journal file \"" + path + "\"");
+    }
+}
+
+std::vector<CampaignJournal::Entry>
+CampaignJournal::load(const std::string &path)
+{
+    std::map<std::uint64_t, Entry> by_seq;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        Json j;
+        try {
+            j = Json::parse(line);
+        } catch (const JsonError &) {
+            continue;  // torn tail or stray garbage: skip
+        }
+        try {
+            if (const Json *req = j.find("req")) {
+                Entry &e = by_seq[req->asU64()];
+                e.seq = req->asU64();
+                e.request = j.at("line").asString();
+            } else if (const Json *rsp = j.find("rsp")) {
+                auto it = by_seq.find(rsp->asU64());
+                if (it == by_seq.end())
+                    continue;  // request line torn away
+                it->second.answered = true;
+                it->second.response = j.at("body").asString();
+            }
+        } catch (const JsonError &) {
+            continue;  // well-formed JSON, wrong shape: skip
+        }
+    }
+    std::vector<Entry> entries;
+    entries.reserve(by_seq.size());
+    for (auto &[seq, e] : by_seq)
+        entries.push_back(std::move(e));
+    return entries;
+}
+
+std::uint64_t
+CampaignJournal::appendRequest(const std::string &line)
+{
+    LockGuard lock(mutex_);
+    const std::uint64_t seq = nextSeq_++;
+    Json j = Json::object();
+    j.set("req", seq);
+    j.set("line", line);
+    out_ << j.str() << "\n";
+    out_.flush();
+    return seq;
+}
+
+void
+CampaignJournal::appendResponse(std::uint64_t seq, const std::string &body)
+{
+    LockGuard lock(mutex_);
+    Json j = Json::object();
+    j.set("rsp", seq);
+    j.set("body", body);
+    out_ << j.str() << "\n";
+    out_.flush();
+}
+
+} // namespace vip

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Write-ahead campaign journal: crash-recoverable vip-serve runs.
+ *
+ * A campaign driven through vip-serve can take hours; a daemon crash
+ * (OOM kill, host reboot, operator SIGKILL) used to lose every
+ * completed point. With `--journal PATH` the daemon appends one line
+ * per event to an append-only JSON-lines file:
+ *
+ *   {"req": N, "line": "<request line>"}    before dispatching, and
+ *   {"rsp": N, "body": "<response line>"}   after answering,
+ *
+ * where N is a per-journal sequence number pairing the two. A request
+ * with a matching response is *completed*; one without is the
+ * *in-flight tail* the crash interrupted. Recovery replays the file:
+ *
+ *  - a restarted `vip-serve --journal PATH` preloads every completed
+ *    run response into its result cache, so re-sending the campaign
+ *    re-answers completed points from cache (byte-identical — the
+ *    journal stores the exact emitted line) and re-runs only the
+ *    tail;
+ *  - `vip-run --resume PATH` finishes the campaign offline: it emits
+ *    completed responses verbatim, runs the unanswered tail, and
+ *    appends the new responses under their original sequence numbers
+ *    (no duplicate request lines, so repeated resumes are
+ *    idempotent).
+ *
+ * Torn tails are expected: a crash mid-write leaves a truncated last
+ * line, which load() skips (along with any other unparseable line) —
+ * the corresponding request simply counts as in-flight. Every append
+ * is flushed before the dispatch/emit proceeds, so the journal never
+ * claims a response the client could not have seen.
+ *
+ * Thread safety: append* are serialized by an internal mutex (serve
+ * handles concurrent connections); load() is a static snapshot for
+ * startup/resume, not synchronized against a live writer.
+ */
+
+#ifndef VIP_SERVE_JOURNAL_HH
+#define VIP_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/mutex.hh"
+
+namespace vip {
+
+class CampaignJournal
+{
+  public:
+    /** One request line and (when answered) its response line. */
+    struct Entry
+    {
+        std::uint64_t seq = 0;
+        std::string request;   ///< the raw request line
+        bool answered = false;
+        std::string response;  ///< the raw emitted response line
+    };
+
+    /**
+     * Open @p path for appending, creating it if absent. Throws
+     * SimError("config") when the file cannot be opened. Sequence
+     * numbers continue after the highest one already present.
+     */
+    explicit CampaignJournal(const std::string &path);
+
+    /**
+     * Parse a journal into entries ordered by sequence number. A
+     * missing file is an empty campaign; unparseable lines (torn
+     * tail, stray garbage) are skipped; a response without a request
+     * is dropped (its request line was torn away — nothing to rerun).
+     */
+    static std::vector<Entry> load(const std::string &path);
+
+    /** Record @p line as about to be dispatched; returns its
+     *  sequence number. Flushed before returning. */
+    std::uint64_t appendRequest(const std::string &line);
+
+    /** Record the response for request @p seq. Flushed before
+     *  returning. */
+    void appendResponse(std::uint64_t seq, const std::string &body);
+
+  private:
+    Mutex mutex_;
+    std::ofstream out_ VIP_GUARDED_BY(mutex_);
+    std::uint64_t nextSeq_ VIP_GUARDED_BY(mutex_) = 1;
+};
+
+} // namespace vip
+
+#endif // VIP_SERVE_JOURNAL_HH

@@ -1,6 +1,7 @@
 #include "serve/serve.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/json.hh"
 
@@ -28,6 +29,34 @@ isBlank(const std::string &line)
     return true;
 }
 
+/**
+ * Read one '\n'-terminated line of at most @p max_bytes into @p line.
+ * A longer line is consumed to its newline (the stream stays in sync)
+ * but reported via *overflow with only the first max_bytes kept — the
+ * caller answers with a structured protocol error instead of letting
+ * a runaway client balloon the daemon. Returns false only at EOF with
+ * nothing read; an unterminated final line is still delivered.
+ */
+bool
+readLineBounded(std::istream &in, std::size_t max_bytes,
+                std::string *line, bool *overflow)
+{
+    line->clear();
+    *overflow = false;
+    bool any = false;
+    std::istream::int_type c;
+    while ((c = in.get()) != std::istream::traits_type::eof()) {
+        any = true;
+        if (c == '\n')
+            return true;
+        if (line->size() < max_bytes)
+            line->push_back(static_cast<char>(c));
+        else
+            *overflow = true;
+    }
+    return any;
+}
+
 } // namespace
 
 std::string
@@ -43,7 +72,7 @@ errorResponse(const SimError &e)
 }
 
 VipServer::VipServer(const ServeOptions &opts)
-    : opts_(opts), engine_(opts.jobs), statGroup_("serve"),
+    : opts_(opts), statGroup_("serve"),
       requests_(&statGroup_, "requests", "request lines received"),
       cacheHits_(&statGroup_, "cacheHits",
                  "run requests answered from the result cache"),
@@ -52,8 +81,43 @@ VipServer::VipServer(const ServeOptions &opts)
       cacheEvictions_(&statGroup_, "cacheEvictions",
                       "cached results evicted by the LRU bound"),
       errors_(&statGroup_, "errors",
-              "requests answered with an error response")
-{}
+              "requests answered with an error response"),
+      timeouts_(&statGroup_, "timeouts",
+                "runs stopped by their wall-clock budget"),
+      cancelledRuns_(&statGroup_, "cancelledRuns",
+                     "runs stopped by an explicit cancel"),
+      shed_(&statGroup_, "shed",
+            "run requests rejected by the admission bound"),
+      engine_(opts.jobs)
+{
+    engine_.setRetryPolicy(opts_.retry);
+    if (opts_.journalPath.empty())
+        return;
+    // Recovery: every completed run response in the journal becomes a
+    // cache entry, so a re-sent campaign re-answers completed points
+    // byte-identically from cache and re-runs only the interrupted
+    // tail. Error and command responses carry no "key" and are
+    // (correctly) not preloaded.
+    for (const CampaignJournal::Entry &e :
+         CampaignJournal::load(opts_.journalPath)) {
+        if (!e.answered)
+            continue;
+        Json j;
+        try {
+            j = Json::parse(e.response);
+        } catch (const JsonError &) {
+            continue;
+        }
+        const Json *keyj = j.find("key");
+        if (!keyj || !keyj->isString())
+            continue;
+        const std::uint64_t key =
+            std::strtoull(keyj->asString().c_str(), nullptr, 16);
+        LockGuard lock(mutex_);
+        cacheInsert(key, e.response);
+    }
+    journal_ = std::make_unique<CampaignJournal>(opts_.journalPath);
+}
 
 const std::string *
 VipServer::cacheFind(std::uint64_t key)
@@ -96,6 +160,20 @@ VipServer::immediate(std::string response, bool is_error)
     return p;
 }
 
+std::size_t
+VipServer::cancelActiveRuns()
+{
+    LockGuard lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[id, weak] : active_) {
+        if (const auto token = weak.lock()) {
+            token->cancel();
+            ++n;
+        }
+    }
+    return n;
+}
+
 VipServer::PendingPtr
 VipServer::dispatchRun(const Json &spec_json)
 {
@@ -109,6 +187,8 @@ VipServer::dispatchRun(const Json &spec_json)
     if (spec.config.fastPath)
         spec.config.fastPath = opts_.defaultFastPath;
 
+    auto token = std::make_shared<CancelToken>();
+    std::uint64_t run_id = 0;
     {
         LockGuard lock(mutex_);
         if (const std::string *cached = cacheFind(key)) {
@@ -119,30 +199,81 @@ VipServer::dispatchRun(const Json &spec_json)
             // never through the response body.
             return immediate(*cached, false);
         }
+        const std::size_t bound =
+            opts_.maxQueuedRuns ? opts_.maxQueuedRuns
+                                : 4 * std::size_t{engine_.jobs()} + 4;
+        if (inFlight_ >= bound) {
+            // Shed instead of queueing without bound: a loaded
+            // daemon answers immediately and its memory stays
+            // bounded. The client retries later.
+            ++shed_;
+            return immediate(
+                errorResponse(SimError(
+                    "overloaded",
+                    "daemon at capacity (" +
+                        std::to_string(inFlight_) +
+                        " runs in flight, bound " +
+                        std::to_string(bound) + "); retry later")),
+                true);
+        }
         ++cacheMisses_;
+        ++inFlight_;
+        run_id = nextRunId_++;
+        active_.emplace(run_id, token);
     }
 
     auto p = std::make_shared<Pending>();
-    engine_.submit([this, spec, key, p] {
+    // Invocation count across the engine's transient retries; only
+    // the worker running this job touches it (retries re-invoke on
+    // the same thread, sequentially).
+    auto attempts = std::make_shared<unsigned>(0);
+    engine_.submit([this, spec, key, p, token, run_id, attempts] {
+        const unsigned attempt = (*attempts)++;
         std::string response;
         bool is_error = false;
+        bool timed_out = false;
+        bool was_cancelled = false;
         std::map<std::string, std::uint64_t> fp;
         try {
-            const RunResult result = runSpec(spec);
+            const RunResult result = runSpec(spec, token.get());
             Json body = Json::object();
             body.set("key", hexKey(key));
             body.set("result", result.toJson());
             response = body.str();
             fp = result.fastpath;
+        } catch (const TransientError &) {
+            // Let the engine's retry policy re-run us from the spec
+            // (byte-identical on success); answer only once retries
+            // are exhausted — an unfinished slot would wedge the
+            // window.
+            if (attempt < opts_.retry.maxRetries)
+                throw;
+            response = errorResponse(SimError(
+                "transient",
+                "run failed after " + std::to_string(attempt + 1) +
+                    " attempts"));
+            is_error = true;
+        } catch (const std::bad_alloc &e) {
+            if (attempt < opts_.retry.maxRetries)
+                throw;
+            response = errorResponse(SimError("transient", e.what()));
+            is_error = true;
         } catch (const SimError &e) {
             response = errorResponse(e);
             is_error = true;
+            timed_out = e.kind() == "timeout";
+            was_cancelled = e.kind() == "cancelled";
         } catch (const std::exception &e) {
-            response = errorResponse(
-                SimError("exception", e.what()));
+            response = errorResponse(SimError("exception", e.what()));
             is_error = true;
         }
         LockGuard lock(mutex_);
+        active_.erase(run_id);
+        --inFlight_;
+        if (timed_out)
+            ++timeouts_;
+        if (was_cancelled)
+            ++cancelledRuns_;
         if (!is_error) {
             cacheInsert(key, response);
             for (const auto &[name, value] : fp)
@@ -160,25 +291,28 @@ std::string
 VipServer::statsResponse()
 {
     Json serve = Json::object();
-    statGroup_.visit({
-        [&serve, this](const std::string &path, std::uint64_t value,
-                       const std::string &) {
-            // Strip the "serve." prefix: the section name is the
-            // response's top-level key.
-            serve.set(path.substr(statGroup_.name().size() + 1), value);
-        },
-        nullptr,
-    });
     Json fp = Json::object();
     fp.set("enabled", opts_.defaultFastPath);
     {
-        // The serving thread only calls this after drain(), but the
-        // cache is guarded state: read its size under the lock.
+        // Counters are bumped under the lock by every connection and
+        // worker; snapshot them the same way.
         LockGuard lock(mutex_);
+        statGroup_.visit({
+            [&serve, this](const std::string &path, std::uint64_t value,
+                           const std::string &) {
+                // Strip the "serve." prefix: the section name is the
+                // response's top-level key.
+                serve.set(path.substr(statGroup_.name().size() + 1),
+                          value);
+            },
+            nullptr,
+        });
         serve.set("cacheEntries", cache_.size());
+        serve.set("inFlight", inFlight_);
         for (const auto &[name, value] : fastpath_)
             fp.set(name, value);
     }
+    serve.set("retries", engine_.retries());
     serve.set("cacheCapacity", opts_.cacheEntries);
     serve.set("jobs", engine_.jobs());
     serve.set("fastpath", std::move(fp));
@@ -207,13 +341,22 @@ VipServer::dispatch(const std::string &line, bool *shutdown)
             }
             const std::string &name = cmd->asString();
             if (name == "stats") {
-                // Barrier: in-flight runs must land in the counters
-                // (and the cache) before they are reported.
+                // Barrier: this connection's in-flight runs must land
+                // in the counters (and the cache) before the report.
                 return nullptr;  // handled by caller after drain
+            }
+            if (name == "cancel") {
+                const std::size_t n = cancelActiveRuns();
+                Json body = Json::object();
+                body.set("cancelled",
+                         static_cast<std::uint64_t>(n));
+                body.set("ok", true);
+                return immediate(body.str(), false);
             }
             if (name == "shutdown") {
                 *shutdown = true;
-                shutdownRequested_ = true;
+                shutdownRequested_.store(true,
+                                         std::memory_order_release);
                 Json body = Json::object();
                 body.set("ok", true);
                 return immediate(body.str(), false);
@@ -231,32 +374,38 @@ VipServer::dispatch(const std::string &line, bool *shutdown)
 }
 
 void
-VipServer::emitReady(std::ostream &out)
+VipServer::emitReady(std::deque<PendingPtr> &window, std::ostream &out)
 {
     LockGuard lock(mutex_);
-    while (!window_.empty() && window_.front()->done) {
-        const PendingPtr p = window_.front();
-        window_.pop_front();
+    while (!window.empty() && window.front()->done) {
+        const PendingPtr p = window.front();
+        window.pop_front();
         if (p->isError)
             ++errors_;
         lock.unlock();
         out << p->response << '\n' << std::flush;
+        // Journal the response after the client had its chance to see
+        // it; a completed entry answers resumes byte-identically.
+        if (p->journaled && journal_)
+            journal_->appendResponse(p->seq, p->response);
         lock.lock();
     }
 }
 
 void
-VipServer::drain(std::ostream &out)
+VipServer::drain(std::deque<PendingPtr> &window, std::ostream &out)
 {
     LockGuard lock(mutex_);
-    while (!window_.empty()) {
-        const PendingPtr head = window_.front();
+    while (!window.empty()) {
+        const PendingPtr head = window.front();
         cv_.wait(lock, [&head] { return head->done; });
-        window_.pop_front();
+        window.pop_front();
         if (head->isError)
             ++errors_;
         lock.unlock();
         out << head->response << '\n' << std::flush;
+        if (head->journaled && journal_)
+            journal_->appendResponse(head->seq, head->response);
         lock.lock();
     }
 }
@@ -264,36 +413,67 @@ VipServer::drain(std::ostream &out)
 void
 VipServer::serve(std::istream &in, std::ostream &out)
 {
+    std::deque<PendingPtr> window;
     std::string line;
     bool shutdown = false;
-    while (!shutdown && std::getline(in, line)) {
-        if (isBlank(line))
+    while (!shutdown) {
+        if (opts_.stopRequested && opts_.stopRequested())
+            break;  // transport asked for a drain-then-return
+        bool overflow = false;
+        if (!readLineBounded(in, opts_.maxLineBytes, &line, &overflow))
+            break;
+        if (!overflow && isBlank(line))
             continue;
-        ++requests_;
-        PendingPtr p = dispatch(line, &shutdown);
-        if (!p) {
-            // Stats command: everything in flight must complete and
-            // be counted first.
-            drain(out);
-            p = immediate(statsResponse(), false);
-        }
         {
             LockGuard lock(mutex_);
-            window_.push_back(std::move(p));
+            ++requests_;
         }
-        emitReady(out);
+        std::uint64_t seq = 0;
+        bool journaled = false;
+        PendingPtr p;
+        if (overflow) {
+            // Oversized lines are answered but never journaled or
+            // dispatched: the stored prefix is not the request.
+            p = immediate(
+                errorResponse(SimError(
+                    "protocol",
+                    "request line exceeds " +
+                        std::to_string(opts_.maxLineBytes) + " bytes")),
+                true);
+        } else {
+            // Write-ahead: the request is journaled before anything
+            // can run, so a crash can lose at most responses, never
+            // the knowledge that a request was accepted.
+            if (journal_) {
+                seq = journal_->appendRequest(line);
+                journaled = true;
+            }
+            p = dispatch(line, &shutdown);
+            if (!p) {
+                // Stats command: everything this connection has in
+                // flight must complete and be counted first.
+                drain(window, out);
+                p = immediate(statsResponse(), false);
+            }
+        }
+        p->seq = seq;
+        p->journaled = journaled;
+        window.push_back(std::move(p));
+        emitReady(window, out);
+        if (!out)
+            break;  // client vanished; finish in-flight work and return
         // Bound the pipeline: never more than two batches of work
         // queued ahead of the slowest outstanding request.
         LockGuard lock(mutex_);
-        while (window_.size() >= 2 * engine_.jobs() + 1) {
-            const PendingPtr head = window_.front();
+        while (window.size() >= 2 * engine_.jobs() + 1) {
+            const PendingPtr head = window.front();
             cv_.wait(lock, [&head] { return head->done; });
             lock.unlock();
-            emitReady(out);
+            emitReady(window, out);
             lock.lock();
         }
     }
-    drain(out);
+    drain(window, out);
 }
 
 } // namespace vip

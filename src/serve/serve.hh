@@ -22,18 +22,32 @@
  * Whether a request hit the cache is observable only through the
  * stats command, never through the response body.
  *
+ * A run may carry "budgetMs": a host wall-clock budget. A run that
+ * exceeds it fails with {"error":{"kind":"timeout",...}} and the
+ * daemon keeps serving; the budget is excluded from the cache key
+ * (it bounds host execution, never results).
+ *
  * Control requests:
  *
  *   {"cmd": "stats"}    -> {"serve": {"cacheEntries": ..., ...}}
+ *   {"cmd": "cancel"}   -> {"cancelled": N, "ok": true} — trips the
+ *                          CancelToken of every run in flight; each
+ *                          answers {"error":{"kind":"cancelled"}} on
+ *                          its own request slot
  *   {"cmd": "shutdown"} -> {"ok": true}, then the loop returns
  *
- * Failures — a malformed line, an unknown key, a config the
- * validator rejects, an assembly error, a deadlocked run — come back
- * as a structured response on the same line slot and the loop keeps
- * serving (the SimError hierarchy is the contract: nothing a request
- * can say kills the daemon):
+ * Failures — a malformed line, an oversized line, an unknown key, a
+ * config the validator rejects, an assembly error, a deadlocked or
+ * timed-out run — come back as a structured response on the same
+ * line slot and the loop keeps serving (the SimError hierarchy is
+ * the contract: nothing a request can say kills the daemon):
  *
  *   {"error": {"kind": "config", "message": "...", "detail": "..."}}
+ *
+ * When more runs are in flight than the admission bound
+ * (maxQueuedRuns), new run requests are shed immediately with
+ * {"error":{"kind":"overloaded",...}} instead of queueing without
+ * bound — a loaded daemon stays responsive and its memory bounded.
  *
  * ## Caching
  *
@@ -46,22 +60,39 @@
  * never cached. Hit/miss/eviction counters live in a "serve"
  * StatGroup reported by the stats command.
  *
+ * ## Journaling & recovery
+ *
+ * With a journalPath the server write-ahead-journals every request
+ * line before dispatch and every response after emission
+ * (serve/journal.hh). On construction it preloads completed run
+ * responses into the cache, so a daemon restarted after a crash
+ * re-answers completed campaign points byte-identically from cache
+ * and re-runs only the interrupted tail; `vip-run --resume` finishes
+ * the same journal offline.
+ *
  * ## Concurrency
  *
  * Requests dispatch onto a SweepEngine (one warm Simulation per job,
  * the sweep determinism contract); responses are reordered back into
- * request order by a bounded window, so a stream of N requests
- * pipelines across the pool while the client still sees responses
- * 1..N in order. With jobs == 1 everything runs inline on the
- * caller's thread — byte-for-byte deterministic, which is what the
- * tests pin.
+ * request order by a bounded per-connection window, so a stream of N
+ * requests pipelines across the pool while the client still sees
+ * responses 1..N in order. With jobs == 1 everything runs inline on
+ * the caller's thread — byte-for-byte deterministic, which is what
+ * the tests pin. serve() may be called concurrently from several
+ * transport threads (one per socket connection): the window is local
+ * to each call, and all shared state — cache, counters, journal, the
+ * in-flight run registry — is mutex-guarded. Transient host failures
+ * (TransientError, std::bad_alloc) are retried with exponential
+ * backoff per the retry policy before a run is reported failed.
  */
 
 #ifndef VIP_SERVE_SERVE_HH
 #define VIP_SERVE_SERVE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <istream>
 #include <list>
 #include <map>
@@ -71,6 +102,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "serve/journal.hh"
+#include "sim/cancel.hh"
 #include "sim/mutex.hh"
 #include "sim/stats.hh"
 #include "sim/sweep.hh"
@@ -104,6 +137,30 @@ struct ServeOptions
      * is applied and cached responses stay valid across it.
      */
     bool defaultFastPath = true;
+
+    /** Longest accepted request line; longer lines are consumed and
+     *  answered with {"error":{"kind":"protocol"}} — a runaway client
+     *  cannot balloon the daemon. */
+    std::size_t maxLineBytes = 1u << 20;
+
+    /** Admission bound: run requests arriving while this many runs
+     *  are already in flight (across all connections) are shed with
+     *  "overloaded". 0 = auto (4 * jobs + 4). */
+    std::size_t maxQueuedRuns = 0;
+
+    /** Transient host-failure retry policy (sim/sweep.hh). */
+    RetryPolicy retry{2, 10};
+
+    /** Write-ahead campaign journal path; empty disables journaling
+     *  (see file comment, "Journaling & recovery"). */
+    std::string journalPath;
+
+    /**
+     * Polled between request lines; returning true makes serve()
+     * drain its window and return, as if the stream hit EOF. The
+     * transport's drain-then-exit hook for SIGINT/SIGTERM.
+     */
+    std::function<bool()> stopRequested;
 };
 
 class VipServer
@@ -112,10 +169,15 @@ class VipServer
     explicit VipServer(const ServeOptions &opts = {});
 
     /**
-     * Serve until @p in hits EOF or a shutdown request arrives.
-     * Emits exactly one '\n'-terminated JSON response per request
-     * line, in request order, flushing after each. Reentrant per
-     * server: one serve() at a time.
+     * Serve until @p in hits EOF, a shutdown request arrives, or
+     * opts.stopRequested returns true. Emits exactly one
+     * '\n'-terminated JSON response per request line, in request
+     * order, flushing after each; returns early (after completing
+     * in-flight work) when @p out fails — a vanished client must not
+     * wedge a worker. May be called concurrently from multiple
+     * transport threads; response ordering is per call (the stats
+     * command's drain barrier likewise covers only the calling
+     * connection's window).
      */
     void serve(std::istream &in, std::ostream &out);
 
@@ -125,32 +187,64 @@ class VipServer
     /** True once a {"cmd":"shutdown"} request has been served; lets
      *  a multi-connection transport tell a client disconnect (serve
      *  again) from a daemon shutdown (stop accepting). */
-    bool shutdownRequested() const { return shutdownRequested_; }
+    bool
+    shutdownRequested() const
+    {
+        return shutdownRequested_.load(std::memory_order_acquire);
+    }
 
-    std::uint64_t requests() const { return requests_.value(); }
-    std::uint64_t cacheHits() const { return cacheHits_.value(); }
-    std::uint64_t cacheMisses() const { return cacheMisses_.value(); }
-    std::uint64_t cacheEvictions() const { return cacheEvictions_.value(); }
-    std::uint64_t errors() const { return errors_.value(); }
+    /** Trip the CancelToken of every run in flight (the programmatic
+     *  form of {"cmd":"cancel"}); returns how many were signalled. */
+    std::size_t cancelActiveRuns();
+
+    /** Counter snapshots (locked: safe while connections are live). */
+    std::uint64_t requests() const { return counter(requests_); }
+    std::uint64_t cacheHits() const { return counter(cacheHits_); }
+    std::uint64_t cacheMisses() const { return counter(cacheMisses_); }
+    std::uint64_t
+    cacheEvictions() const
+    {
+        return counter(cacheEvictions_);
+    }
+    std::uint64_t errors() const { return counter(errors_); }
+    std::uint64_t timeouts() const { return counter(timeouts_); }
+    std::uint64_t cancelledRuns() const { return counter(cancelledRuns_); }
+    std::uint64_t shed() const { return counter(shed_); }
+    std::uint64_t retries() const { return engine_.retries(); }
 
   private:
-    /** One request's slot in the in-order response window. */
+    /** One request's slot in a connection's in-order response window.
+     *  `response`/`done`/`isError` are written by the completing
+     *  worker (then read by the serving thread after observing `done`
+     *  under mutex_); `seq`/`journaled` are written and read only by
+     *  the serving thread. */
     struct Pending
     {
         std::string response;
         bool done = false;
         bool isError = false;
+        std::uint64_t seq = 0;    ///< journal sequence number
+        bool journaled = false;   ///< emit appends a journal response
     };
     using PendingPtr = std::shared_ptr<Pending>;
 
     /** Dispatch one parsed request line; returns the slot to emit. */
     PendingPtr dispatch(const std::string &line, bool *shutdown);
 
-    /** Schedule a run request (cache lookup or worker execution). */
+    /** Schedule a run request (cache lookup, admission check, or
+     *  worker execution). */
     PendingPtr dispatchRun(const Json &spec_json);
 
     /** A slot completed immediately on the serving thread. */
     PendingPtr immediate(std::string response, bool is_error);
+
+    /** Locked read of one counter (bumps happen under mutex_). */
+    std::uint64_t
+    counter(const Counter &c) const
+    {
+        LockGuard lock(mutex_);
+        return c.value();
+    }
 
     std::string statsResponse();
 
@@ -159,31 +253,34 @@ class VipServer
     void cacheInsert(std::uint64_t key, std::string response)
         VIP_REQUIRES(mutex_);
 
-    /** Emit every completed slot at the window head. */
-    void emitReady(std::ostream &out);
+    /** Emit (and journal) every completed slot at @p window's head. */
+    void emitReady(std::deque<PendingPtr> &window, std::ostream &out);
 
-    /** Block until the whole window has been emitted. */
-    void drain(std::ostream &out);
+    /** Block until the whole @p window has been emitted. */
+    void drain(std::deque<PendingPtr> &window, std::ostream &out);
 
     ServeOptions opts_;
-    SweepEngine engine_;
-    bool shutdownRequested_ = false;
+    std::atomic<bool> shutdownRequested_{false};
 
+    /** Counters are registered in statGroup_; every bump and every
+     *  statGroup_ visit happens under mutex_ (Counter is a plain
+     *  uint64, and serve() runs on multiple connection threads). */
     StatGroup statGroup_;
     Counter requests_;
     Counter cacheHits_;
     Counter cacheMisses_;
     Counter cacheEvictions_;
     Counter errors_;
+    Counter timeouts_;
+    Counter cancelledRuns_;
+    Counter shed_;
 
-    /** Guards window_ and the cache (the only state the serving
-     *  thread and the worker-pool completion lambdas share); cv_
-     *  signals slot completion. The Pending slots themselves are
-     *  written by exactly one worker and only read by the serving
-     *  thread after `done` is observed true under this mutex. */
-    Mutex mutex_;
+    /** Guards the cache, the counters, the in-flight run registry,
+     *  and Pending completion handoff; cv_ signals slot completion.
+     *  The journal has its own internal lock. Mutable: the const
+     *  counter accessors lock it. */
+    mutable Mutex mutex_;
     CondVar cv_;
-    std::deque<PendingPtr> window_ VIP_GUARDED_BY(mutex_);
 
     /** Server-lifetime µop fast-path counters summed over every run
      *  executed (cache hits skip simulation and add nothing), keyed
@@ -198,6 +295,22 @@ class VipServer
         std::uint64_t,
         std::list<std::pair<std::uint64_t, std::string>>::iterator>
         cache_ VIP_GUARDED_BY(mutex_);
+
+    /** Runs in flight: admission control and the cancel command.
+     *  Tokens are owned by their worker lambdas; the registry holds
+     *  weak refs so a finished run needs no cross-thread teardown
+     *  beyond its erase. std::map: the cancel command iterates. */
+    std::uint64_t nextRunId_ VIP_GUARDED_BY(mutex_) = 1;
+    std::map<std::uint64_t, std::weak_ptr<CancelToken>> active_
+        VIP_GUARDED_BY(mutex_);
+    std::size_t inFlight_ VIP_GUARDED_BY(mutex_) = 0;
+
+    std::unique_ptr<CampaignJournal> journal_;
+
+    /** Declared last on purpose: destroyed first, which joins the
+     *  worker threads while every member they touch (mutex_, cache,
+     *  journal_, the registry) is still alive. */
+    SweepEngine engine_;
 };
 
 /** {"error": {...}} response body for @p e (shared with vip-run). */

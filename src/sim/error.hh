@@ -95,6 +95,50 @@ class DeadlockError : public SimError
     {}
 };
 
+/**
+ * A run exceeded its wall-clock budget (RunSpec::budgetMs /
+ * vip-run --timeout-ms) and was stopped at a poll boundary by its
+ * CancelToken (sim/cancel.hh). The machine's partial state is
+ * discarded; re-running the same spec without (or within) a budget
+ * produces the full deterministic result.
+ */
+class TimeoutError : public SimError
+{
+  public:
+    explicit TimeoutError(std::string message)
+        : SimError("timeout", std::move(message))
+    {}
+};
+
+/**
+ * A run was stopped by an explicit cancellation request (a
+ * {"cmd":"cancel"} on vip-serve, SIGINT/SIGTERM on vip-run, or a
+ * direct CancelToken::cancel()).
+ */
+class CancelledError : public SimError
+{
+  public:
+    explicit CancelledError(std::string message)
+        : SimError("cancelled", std::move(message))
+    {}
+};
+
+/**
+ * A transient *host-level* failure (an allocation that may succeed
+ * on retry, a worker that died and was replaced) — as opposed to a
+ * deterministic simulation failure, which would recur identically.
+ * The sweep engine's retry policy (sim/sweep.hh) re-runs jobs that
+ * throw this (or std::bad_alloc) from their spec, so a retried
+ * point's output is byte-identical to a first-try success.
+ */
+class TransientError : public SimError
+{
+  public:
+    explicit TransientError(std::string message)
+        : SimError("transient", std::move(message))
+    {}
+};
+
 } // namespace vip
 
 #endif // VIP_SIM_ERROR_HH

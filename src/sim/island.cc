@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "sim/cancel.hh"
 #include "sim/logging.hh"
 
 namespace vip {
@@ -50,6 +51,7 @@ IslandScheduler::run(Cycles start, Cycles deadline)
     deadline_ = deadline;
     lastCheck_ = start;
     lastProgress_ = ~std::uint64_t{0};
+    cancelPollCountdown_ = kCancelPollRounds;
     round_ = Round{};
     round_.begin = start;
     round_.end = start + std::min(opt_.quantum, deadline - start);
@@ -73,7 +75,7 @@ IslandScheduler::run(Cycles start, Cycles deadline)
         if (errors_[i])
             std::rethrow_exception(errors_[i]);
 
-    return {round_.final, round_.deadlocked};
+    return {round_.final, round_.deadlocked, round_.cancelStopped};
 }
 
 void
@@ -204,6 +206,24 @@ IslandScheduler::decideNextRound()
         round_.stop = true;
         round_.final = deadline_;
         return;
+    }
+
+    // Cooperative stop, after the natural-completion checks so a run
+    // that drains this very round reports its real result. The flag
+    // is one relaxed load (every round); the clock-reading deadline
+    // poll is rate-limited to every kCancelPollRounds rounds.
+    if (opt_.cancel) {
+        bool should_stop = opt_.cancel->cancelled();
+        if (!should_stop && --cancelPollCountdown_ == 0) {
+            cancelPollCountdown_ = kCancelPollRounds;
+            should_stop = opt_.cancel->expired();
+        }
+        if (should_stop) {
+            round_.stop = true;
+            round_.cancelStopped = true;
+            round_.final = round_.end;
+            return;
+        }
     }
 
     // Deadlock watchdog, at quantum granularity: the serial loop

@@ -50,6 +50,8 @@
 
 namespace vip {
 
+class CancelToken;
+
 /**
  * A reusable spin barrier with a completion callback: the last thread
  * to arrive runs the callback while the others wait, then everyone is
@@ -136,6 +138,14 @@ class IslandScheduler
 
         /** Allow intra-quantum and cross-quantum time warps. */
         bool fastForward = true;
+
+        /**
+         * Cooperative stop signal, polled by the round decision
+         * between quanta (the cancelled flag every round, the
+         * clock-reading deadline every kCancelPollRounds rounds).
+         * Null = never stops early.
+         */
+        const CancelToken *cancel = nullptr;
     };
 
     struct Outcome
@@ -146,6 +156,10 @@ class IslandScheduler
 
         /** The watchdog fired: no progress for watchdogCycles. */
         bool deadlocked = false;
+
+        /** The run stopped because Options::cancel tripped; the
+         *  caller turns this into CancelledError/TimeoutError. */
+        bool cancelStopped = false;
     };
 
     IslandScheduler(unsigned islands, IslandHooks hooks, Options opt);
@@ -182,6 +196,7 @@ class IslandScheduler
         Cycles warpedFrom = 0; ///< begin > warpedFrom => global warp
         bool stop = false;
         bool deadlocked = false;
+        bool cancelStopped = false;
         Cycles final = 0;
     };
 
@@ -200,6 +215,10 @@ class IslandScheduler
     /** Watchdog state (touched only by the decision callback). */
     Cycles lastCheck_ = 0;
     std::uint64_t lastProgress_ = ~std::uint64_t{0};
+
+    /** Rounds until the next clock-reading deadline poll (touched
+     *  only by the decision callback). */
+    unsigned cancelPollCountdown_ = 0;
 
     /** A hook threw somewhere: finish the round and stop. */
     std::atomic<bool> abort_{false};

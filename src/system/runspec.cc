@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/cancel.hh"
 #include "sim/json.hh"
 
 namespace vip {
@@ -63,6 +64,8 @@ RunSpec::toJson() const
     }
     j.set("regs", std::move(regsj));
     j.set("maxCycles", static_cast<std::uint64_t>(maxCycles));
+    if (budgetMs != 0)
+        j.set("budgetMs", budgetMs);
     return j;
 }
 
@@ -71,7 +74,8 @@ RunSpec::fromJson(const Json &j)
 {
     RunSpec spec;
     rejectUnknown(j, "",
-                  {"config", "programs", "pokes", "regs", "maxCycles"});
+                  {"config", "programs", "pokes", "regs", "maxCycles",
+                   "budgetMs"});
     if (const Json *c = j.find("config"))
         spec.config = SystemConfig::fromJson(*c);
     if (const Json *progs = j.find("programs")) {
@@ -112,12 +116,21 @@ RunSpec::fromJson(const Json &j)
     }
     if (const Json *mc = j.find("maxCycles"))
         spec.maxCycles = static_cast<Cycles>(mc->asU64());
+    if (const Json *bm = j.find("budgetMs"))
+        spec.budgetMs = bm->asU64();
     return spec;
 }
 
 std::uint64_t
 RunSpec::fingerprint() const
 {
+    if (budgetMs != 0) {
+        // The budget bounds host execution, not results: hash as if
+        // unbudgeted so a cached success answers any budget.
+        RunSpec unbudgeted = *this;
+        unbudgeted.budgetMs = 0;
+        return fnv1a(unbudgeted.toJson().str());
+    }
     return fnv1a(toJson().str());
 }
 
@@ -135,9 +148,18 @@ buildSimulation(const RunSpec &spec)
 }
 
 RunResult
-runSpec(const RunSpec &spec)
+runSpec(const RunSpec &spec, CancelToken *cancel)
 {
-    return buildSimulation(spec)->run(spec.maxCycles);
+    CancelToken local;
+    CancelToken *tok = cancel;
+    if (tok) {
+        tok->setBudgetMs(spec.budgetMs);
+    } else if (spec.budgetMs != 0) {
+        local.setBudgetMs(spec.budgetMs);
+        tok = &local;
+    }
+    auto sim = buildSimulation(spec);
+    return sim->run(spec.maxCycles, tok);
 }
 
 } // namespace vip

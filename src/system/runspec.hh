@@ -84,6 +84,17 @@ struct RunSpec
     /** Simulation budget; 0 = run until the machine drains. */
     Cycles maxCycles = 100'000'000;
 
+    /**
+     * Host wall-clock budget in milliseconds; 0 = none. A run that
+     * exceeds it is stopped at the next poll boundary and fails with
+     * a structured "timeout" error (sim/cancel.hh). Bounds *host*
+     * execution, never simulated behaviour: a run that finishes
+     * within any budget is byte-identical to an unbudgeted run, so
+     * fingerprint() excludes this field and cached results stay
+     * valid for every budget. Omitted from the JSON form when 0.
+     */
+    std::uint64_t budgetMs = 0;
+
     /** Canonical JSON encoding (sorted keys, full config). */
     Json toJson() const;
 
@@ -102,6 +113,9 @@ struct RunSpec
     /**
      * Content-address of this spec (FNV-1a over the canonical compact
      * JSON): equal fingerprints => equal specs => equal run output.
+     * budgetMs is excluded (hashed as if 0): it bounds host
+     * execution, not results, so a cached success answers the same
+     * spec under any budget.
      */
     std::uint64_t fingerprint() const;
 
@@ -112,6 +126,7 @@ struct RunSpec
         // struct has no operator== of its own.
         return programs == o.programs && pokes == o.pokes &&
                regs == o.regs && maxCycles == o.maxCycles &&
+               budgetMs == o.budgetMs &&
                config.toJson() == o.config.toJson();
     }
 };
@@ -127,8 +142,14 @@ struct RunSpec
  */
 std::unique_ptr<Simulation> buildSimulation(const RunSpec &spec);
 
-/** Build and run in one step: the shared CLI/service code path. */
-RunResult runSpec(const RunSpec &spec);
+/**
+ * Build and run in one step: the shared CLI/service code path.
+ * When @p cancel is given it is armed with spec.budgetMs (replacing
+ * any previous deadline) and polled throughout the run; when it is
+ * null and the spec carries a budget, a run-local token enforces the
+ * deadline. Throws TimeoutError / CancelledError on a tripped token.
+ */
+RunResult runSpec(const RunSpec &spec, CancelToken *cancel = nullptr);
 
 } // namespace vip
 

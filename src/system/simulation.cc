@@ -22,7 +22,7 @@ Simulation::loadProgram(unsigned pe, const std::string &source)
 }
 
 RunResult
-Simulation::run(Cycles max_cycles)
+Simulation::run(Cycles max_cycles, const CancelToken *cancel)
 {
     RunResult result;
     const Cycles start_cycle = sys_.now();
@@ -30,7 +30,7 @@ Simulation::run(Cycles max_cycles)
     // simulator, feed no simulated state, and are excluded from
     // RunResult::toJson() — the one sanctioned use of a host clock.
     const auto start = std::chrono::steady_clock::now();  // vip-lint: allow(wall-clock)
-    result.cycles = sys_.run(max_cycles);
+    result.cycles = sys_.run(max_cycles, cancel);
     const auto end = std::chrono::steady_clock::now();  // vip-lint: allow(wall-clock)
     result.hostSeconds =
         std::chrono::duration<double>(end - start).count();

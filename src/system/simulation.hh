@@ -234,9 +234,12 @@ class Simulation
     /**
      * Run until the machine drains or @p max_cycles elapse (0 = no
      * budget). Can be called again after loading further programs;
-     * cycles accumulate.
+     * cycles accumulate. @p cancel, when given, is polled
+     * cooperatively and stops the run with CancelledError /
+     * TimeoutError (see VipSystem::run and sim/cancel.hh).
      */
-    RunResult run(Cycles max_cycles = 0);
+    RunResult run(Cycles max_cycles = 0,
+                  const CancelToken *cancel = nullptr);
 
     /** Read one 16-bit value back from DRAM. */
     std::int16_t

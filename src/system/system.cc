@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/cancel.hh"
 #include "sim/error.hh"
 #include "sim/island.hh"
 #include "sim/logging.hh"
@@ -321,7 +322,7 @@ VipSystem::allIdle() const
 }
 
 Cycles
-VipSystem::run(Cycles max_cycles)
+VipSystem::run(Cycles max_cycles, const CancelToken *cancel)
 {
     vip_assert(!running_.exchange(true, std::memory_order_acquire),
                "VipSystem::run() entered concurrently; a system must "
@@ -335,10 +336,11 @@ VipSystem::run(Cycles max_cycles)
     for (auto &pe : pes_)
         pe->setRunDeadline(deadline);
     if (cfg_.islands > 1)
-        return islandRun(deadline);
+        return islandRun(deadline, cancel);
 
     std::uint64_t last_progress = ~std::uint64_t{0};
     Cycles last_check = now_;
+    Cycles next_cancel_poll = now_ + kCancelPollCycles;
 
     auto progress = [this]() {
         std::uint64_t p = noc_.delivered();
@@ -349,6 +351,17 @@ VipSystem::run(Cycles max_cycles)
 
     while (now_ < deadline && !allIdle()) {
         tick();
+        if (cancel && now_ >= next_cancel_poll) {
+            // Cooperative stop point: a fast-forward warp below can
+            // jump now_ far past the cadence mark, so the poll also
+            // lands right after every warp. shouldStop() reads the
+            // host clock only here, never per tick.
+            next_cancel_poll = now_ + kCancelPollCycles;
+            if (cancel->shouldStop()) {
+                running_.store(false, std::memory_order_release);
+                cancel->check();  // throws Timeout/CancelledError
+            }
+        }
         if (now_ - last_check >= cfg_.watchdogCycles) {
             const std::uint64_t p = progress();
             if (p == last_progress) {
@@ -388,7 +401,7 @@ VipSystem::run(Cycles max_cycles)
 }
 
 Cycles
-VipSystem::islandRun(Cycles deadline)
+VipSystem::islandRun(Cycles deadline, const CancelToken *cancel)
 {
     const unsigned n = cfg_.islands;
     for (unsigned i = 0; i < n; ++i) {
@@ -422,6 +435,7 @@ VipSystem::islandRun(Cycles deadline)
     opt.quantum = TorusNoc::kHopLatency + 1;
     opt.watchdogCycles = cfg_.watchdogCycles;
     opt.fastForward = cfg_.fastForward;
+    opt.cancel = cancel;
 
     IslandScheduler sched(n, std::move(hooks), opt);
     IslandScheduler::Outcome out;
@@ -448,6 +462,16 @@ VipSystem::islandRun(Cycles deadline)
         throw DeadlockError("system deadlocked at cycle " +
                                 std::to_string(now_),
                             diagnosis);
+    }
+    if (out.cancelStopped) {
+        running_.store(false, std::memory_order_release);
+        vip_assert(cancel, "scheduler stopped on a token it was "
+                           "never given");
+        cancel->check();
+        // check() is throw-by-trigger; both triggers are sticky
+        // (cancelled is a flag, the clock only moves forward), so
+        // this line is unreachable — but keep control flow total.
+        throw CancelledError("run cancelled");
     }
     running_.store(false, std::memory_order_release);
     return now_;

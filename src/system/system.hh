@@ -36,6 +36,7 @@
 
 namespace vip {
 
+class CancelToken;
 class Json;
 
 /** Full-machine configuration (defaults = the paper's system). */
@@ -162,8 +163,16 @@ class VipSystem
      * confinement contract for callers is unchanged: one run() at a
      * time, and the per-island state is thread-confined to each
      * island's thread between barriers.
+     *
+     * @p cancel, when given, is polled cooperatively (every
+     * kCancelPollCycles on the serial path, between quanta on the
+     * island path): a tripped token stops the run at the next
+     * boundary and throws CancelledError / TimeoutError
+     * (sim/cancel.hh). The machine is left mid-flight but
+     * destructible; the run's partial results are discarded.
      */
-    Cycles run(Cycles max_cycles = 0);
+    Cycles run(Cycles max_cycles = 0,
+               const CancelToken *cancel = nullptr);
 
     Cycles now() const { return now_; }
 
@@ -217,7 +226,7 @@ class VipSystem
     void drainIngress(unsigned v);
 
     // ---- island mode (cfg_.islands > 1) ----------------------------
-    Cycles islandRun(Cycles deadline);
+    Cycles islandRun(Cycles deadline, const CancelToken *cancel);
     void tickIsland(unsigned island, Cycles now);
     bool islandIdle(unsigned island) const;
     Cycles islandNextEventAt(unsigned island, Cycles now) const;

@@ -1,0 +1,20 @@
+// Fixture: predicate waits — re-check the condition on every wakeup,
+// so a lost or spurious notify cannot wedge the thread.
+#include "sim/mutex.hh"
+
+vip::Mutex gate;
+vip::CondVar ready;
+
+void
+waitReady(bool &flag)
+{
+    vip::LockGuard lock(gate);
+    ready.wait(lock, [&flag] { return flag; });
+}
+
+void
+waitDone(int &count)
+{
+    vip::LockGuard lock(gate);
+    ready.wait(lock, [&count] { return count == 0; });
+}

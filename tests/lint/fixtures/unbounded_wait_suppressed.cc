@@ -1,0 +1,14 @@
+// Fixture: a sanctioned predicate-less wait under an explicit allow
+// (e.g. a wrapper layer forwarding the caller's own predicate).
+#include "sim/mutex.hh"
+
+vip::Mutex gate;
+vip::CondVar ready;
+
+void
+forwardedWait(bool &checked_by_caller)
+{
+    vip::LockGuard lock(gate);
+    while (!checked_by_caller)
+        ready.wait(lock);  // vip-lint: allow(unbounded-wait)
+}

@@ -1,0 +1,21 @@
+// Fixture: predicate-less condition-variable waits — one missed
+// notify and each of these threads is wedged forever.
+#include "sim/mutex.hh"
+
+vip::Mutex gate;
+vip::CondVar ready;
+
+void
+waitForeverOnNotify(bool &flag)
+{
+    vip::LockGuard lock(gate);
+    while (!flag)
+        ready.wait(lock);
+}
+
+void
+waitWithoutEvenALoop()
+{
+    vip::LockGuard lock(gate);
+    ready.wait(lock);
+}

@@ -45,6 +45,9 @@ CASES = {
     "raw_sync_violate.cc": (1, {"raw-sync": 4}),
     "raw_sync_clean.cc": (0, {}),
     "raw_sync_suppressed.cc": (0, {}),
+    "unbounded_wait_violate.cc": (1, {"unbounded-wait": 2}),
+    "unbounded_wait_clean.cc": (0, {}),
+    "unbounded_wait_suppressed.cc": (0, {}),
     "stat_name_violate.cc": (1, {"stat-name": 3}),
     "stat_name_clean.cc": (0, {}),
     "stat_name_suppressed.cc": (0, {}),

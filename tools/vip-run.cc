@@ -25,6 +25,9 @@
  *     --inject SPEC        run a fault-injection campaign (see
  *                          sim/fault.hh); adds a "faults" section
  *     --max-cycles N       simulation budget (default 100M)
+ *     --timeout-ms N       wall-clock budget: a run still going after
+ *                          N host milliseconds stops with a
+ *                          structured "timeout" error (exit 1)
  *     --vaults N           machine size (default 1 vault; the torus
  *                          shape is derived with nocDimsFor)
  *     --islands N          shard the run across N host threads
@@ -37,10 +40,24 @@
  *                          (same results, slower)
  *     --strict             panic on vector timing hazards
  *
+ * Campaign recovery (no source file; pairs with vip-serve --journal):
+ *
+ *   vip-run --resume PATH    finish an interrupted campaign journal:
+ *                            completed entries print their recorded
+ *                            response verbatim, the unanswered tail
+ *                            is executed (and journaled under its
+ *                            original sequence numbers, so repeated
+ *                            resumes are idempotent), and stdout is
+ *                            the full in-order response stream —
+ *                            byte-identical to an uninterrupted run
+ *
  * On a recoverable failure (bad config, assembly error, deadlock) the
  * runner prints the error to stderr, writes {"error": {...}} to the
  * --json-stats target when one was given, and exits nonzero — it never
- * aborts for conditions the input can cause.
+ * aborts for conditions the input can cause. SIGINT/SIGTERM trip the
+ * run's CancelToken: the run stops at the next poll boundary and the
+ * runner emits {"error":{"kind":"cancelled"}} on stdout (kind
+ * "timeout" for an expired --timeout-ms) before exiting 1.
  *
  * Example — a dot product of two 8-element vectors staged at 0x1000
  * and 0x1100, result at 0x2000:
@@ -48,6 +65,7 @@
  *   vip-run dot.s --dram 0x1000=3 ... --dump-dram 0x2000,1
  */
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -56,6 +74,9 @@
 #include <vector>
 
 #include "cli.hh"
+#include "serve/journal.hh"
+#include "serve/serve.hh"
+#include "sim/cancel.hh"
 #include "sim/error.hh"
 #include "sim/fault.hh"
 #include "sim/json.hh"
@@ -66,6 +87,26 @@ using namespace vip;
 
 namespace {
 
+/** The run's stop signal. SIGINT/SIGTERM trip it (CancelToken::cancel
+ *  is an async-signal-safe atomic store); the simulation loop polls
+ *  it and throws CancelledError at the next boundary. */
+CancelToken g_token;
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onStopSignal(int sig)
+{
+    g_signal = sig;
+    g_token.cancel();
+}
+
+void
+installSignalHandlers()
+{
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+}
+
 int
 usage()
 {
@@ -74,7 +115,9 @@ usage()
         "usage: vip-run <prog.s> [--reg N=V] [--dram A=V] "
         "[--dump-dram A,N]\n"
         "       [--dump-sp A,N] [--dump-regs] [--dump-spec] [--stats]\n"
-        "       [--max-cycles N] [--vaults N] [--strict] [--trace] "
+        "       [--max-cycles N] [--timeout-ms N] [--vaults N] "
+        "[--strict] [--trace]\n"
+        "       | vip-run --resume JOURNAL "
         "%s\n%s",
         cli::commonUsage(cli::kJsonStats | cli::kInject |
                          cli::kIslands | cli::kFastForward |
@@ -128,7 +171,9 @@ struct Options
     bool dumpRegs = false, dumpSpec = false;
     bool wantStats = false, strict = false, trace = false;
     Cycles maxCycles = 100'000'000;
+    std::uint64_t timeoutMs = 0;
     unsigned vaults = 1;
+    std::string resumePath;
 };
 
 /** The flags as a RunSpec — the serializable half of the run. */
@@ -149,7 +194,51 @@ specFromOptions(const Options &opt, const std::string &source)
     for (const auto &[r, v] : opt.regs)
         spec.regs.push_back({0, r, v});
     spec.maxCycles = opt.maxCycles;
+    spec.budgetMs = opt.timeoutMs;
     return spec;
+}
+
+/**
+ * Finish an interrupted campaign journal (vip-serve --journal): emit
+ * completed responses verbatim, execute the unanswered tail through
+ * the same VipServer code path the daemon uses, and journal the new
+ * responses under their *original* sequence numbers — no duplicate
+ * request entries, so resuming an already-complete journal just
+ * replays it. stdout is the full in-order response stream,
+ * byte-identical to what an uninterrupted daemon would have emitted
+ * (the simulator is deterministic and the journal stores exact
+ * response bytes).
+ */
+int
+resumeCampaign(const std::string &path)
+{
+    const auto entries = CampaignJournal::load(path);
+    ServeOptions sopts;
+    sopts.jobs = 1;  // inline: deterministic, ordered
+    sopts.stopRequested = [] { return g_signal != 0; };
+    VipServer server(sopts);
+    CampaignJournal journal(path);
+    for (const CampaignJournal::Entry &e : entries) {
+        if (g_signal != 0) {
+            std::fprintf(stderr, "vip-run: signal %d: resume stopped\n",
+                         static_cast<int>(g_signal));
+            return 1;
+        }
+        if (e.answered) {
+            std::cout << e.response << "\n";
+            continue;
+        }
+        std::istringstream in(e.request + "\n");
+        std::ostringstream out;
+        server.serve(in, out);
+        std::string resp = out.str();
+        while (!resp.empty() && resp.back() == '\n')
+            resp.pop_back();
+        journal.appendResponse(e.seq, resp);
+        std::cout << resp << "\n";
+    }
+    std::cout << std::flush;
+    return 0;
 }
 
 int
@@ -180,7 +269,8 @@ run(const Options &opt)
         });
     }
 
-    const RunResult result = sim->run(spec.maxCycles);
+    g_token.setBudgetMs(spec.budgetMs);
+    const RunResult result = sim->run(spec.maxCycles, &g_token);
     std::printf("halted=%d cycles=%llu (%.3f us)\n",
                 result.haltedCleanly,
                 static_cast<unsigned long long>(result.cycles),
@@ -311,6 +401,10 @@ main(int argc, char **argv)
             opt.trace = true;
         } else if (arg == "--max-cycles") {
             opt.maxCycles = num(next());
+        } else if (arg == "--timeout-ms") {
+            opt.timeoutMs = num(next());
+        } else if (arg == "--resume") {
+            opt.resumePath = next();
         } else if (arg == "--vaults") {
             opt.vaults = static_cast<unsigned>(num(next()));
         } else if (arg == "--help" || arg == "-h") {
@@ -320,6 +414,16 @@ main(int argc, char **argv)
             return usage();
         } else {
             opt.sourcePath = arg;
+        }
+    }
+    installSignalHandlers();
+
+    if (!opt.resumePath.empty()) {
+        try {
+            return resumeCampaign(opt.resumePath);
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "vip-run: error: %s\n", e.what());
+            return 1;
         }
     }
     if (opt.sourcePath.empty())
@@ -352,6 +456,11 @@ main(int argc, char **argv)
         return 1;
     } catch (const SimError &e) {
         std::fprintf(stderr, "vip-run: error: %s\n", e.what());
+        if (e.kind() == "cancelled" || e.kind() == "timeout") {
+            // The structured form on stdout: a scripted caller learns
+            // *why* the run stopped without scraping stderr.
+            std::cout << errorResponse(e) << "\n" << std::flush;
+        }
         if (!opt.common.jsonStatsPath.empty()) {
             emitJson(opt.common.jsonStatsPath,
                      errorResponseJson(e.kind(), e.message(),
